@@ -1,0 +1,32 @@
+"""Section 5.6.2: CAA records are not an effective countermeasure.
+
+Paper: only 2% of parent domains publish CAA (0.4% restrict to paid
+CAs); half of the CAA-protected parents still had hijacked subdomains
+with valid certificates, because attackers simply use an authorized CA.
+"""
+
+from repro.core.cert_analysis import analyze_caa
+from repro.core.reporting import percent, render_table
+
+
+def test_caa_ineffectiveness(paper, benchmark, emit):
+    report = benchmark(
+        analyze_caa, paper.dataset, paper.internet.zones, paper.internet.ct_log
+    )
+    emit(
+        "section562_caa",
+        render_table(
+            ["statistic", "value", "paper"],
+            [
+                ("abused parent domains", report.parent_domains, "-"),
+                ("parents with CAA", f"{report.parents_with_caa} ({percent(report.caa_share)})", "2%"),
+                ("parents restricting to paid CAs",
+                 f"{report.parents_paid_only} ({percent(report.paid_only_share)})", "0.4%"),
+                ("CAA parents with certified hijacks",
+                 report.caa_parents_still_certified, "about half"),
+            ],
+            title="Section 5.6.2 — CAA deployment on abused parents",
+        ),
+    )
+    assert report.caa_share < 0.10  # CAA is rare
+    assert report.parents_paid_only <= report.parents_with_caa

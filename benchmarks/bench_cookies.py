@@ -1,0 +1,30 @@
+"""Section 5.5: stolen authentication cookies in darknet leaks.
+
+Paper: 83 unique authentication cookies surfaced in darknet leaks
+during hijack windows, tied to 3 hijacked subdomains and 53 victim IPs.
+"""
+
+from repro.core.cookie_analysis import correlate_cookie_leaks
+from repro.core.reporting import render_table
+
+
+def test_cookie_leak_correlation(paper, benchmark, emit):
+    report = benchmark(correlate_cookie_leaks, paper.dataset, paper.internet.darknet)
+    emit(
+        "section55_cookies",
+        render_table(
+            ["statistic", "value", "paper"],
+            [
+                ("matched auth-cookie leaks", report.total, "-"),
+                ("unique cookies", report.unique_cookies, "83"),
+                ("hijacked subdomains involved", len(report.affected_subdomains), "3"),
+                ("victim IPs", len(report.victim_ips), "53"),
+            ],
+            title="Section 5.5 — darknet cookie leaks during hijack windows",
+        ),
+    )
+    # Cookie theft exists but is a small phenomenon compared to SEO.
+    assert report.unique_cookies > 0
+    assert len(report.affected_subdomains) < len(paper.dataset) / 2
+    for leak in report.matched_leaks:
+        assert leak.cookie.is_authentication

@@ -1,0 +1,74 @@
+"""Section 4.3 economics: why attackers avoid the IP lottery.
+
+Quantifies the cost asymmetry the paper infers from the absence of IP
+takeovers: re-registering a freetext name takes one free attempt, while
+winning one specific released address back from a provider pool takes
+an expected free-pool-size number of paid allocation rounds.
+"""
+
+import random
+
+from repro.core.economics import (
+    cost_advantage,
+    freetext_cost,
+    ip_lottery_cost,
+    simulate_lottery,
+)
+from repro.core.reporting import render_table
+from repro.net.addresses import IPv4Pool
+
+
+def test_empirical_lottery(benchmark, emit):
+    """Actually play the lottery on a small pool: the empirical mean
+    number of attempts matches the analytic expectation (pool size)."""
+    rng = random.Random(1234)
+
+    def play_once():
+        pool = IPv4Pool(["10.0.0.0/24"])  # 256 addresses
+        target = pool.allocate(rng)
+        pool.release(target)
+        return simulate_lottery(pool, target, rng, max_attempts=20_000)
+
+    attempts = [play_once() for _ in range(30)]
+    benchmark(play_once)
+    mean_attempts = sum(attempts) / len(attempts)
+    emit(
+        "section43_lottery_empirical",
+        render_table(
+            ["quantity", "value"],
+            [
+                ("pool size", 256),
+                ("empirical mean attempts (30 plays)", round(mean_attempts, 1)),
+                ("analytic expectation", 256),
+                ("min / max observed", f"{min(attempts)} / {max(attempts)}"),
+            ],
+            title="Section 4.3 — the IP lottery, played empirically",
+        ),
+    )
+    # Geometric distribution: the mean lands near the pool size.
+    assert 256 * 0.5 < mean_attempts < 256 * 2.0
+
+
+def test_takeover_economics(paper, benchmark, emit):
+    aws_pool = paper.internet.catalog.provider("AWS").pool
+    freetext = freetext_cost()
+    lottery = benchmark(ip_lottery_cost, aws_pool)
+    warm = ip_lottery_cost(aws_pool, warm_fraction=0.9)
+    emit(
+        "section43_economics",
+        render_table(
+            ["strategy", "expected attempts", "cost/attempt ($)", "expected cost ($)"],
+            [
+                (freetext.strategy, freetext.expected_attempts,
+                 freetext.cost_per_attempt_usd, freetext.expected_cost_usd),
+                (lottery.strategy, lottery.expected_attempts,
+                 lottery.cost_per_attempt_usd, round(lottery.expected_cost_usd, 2)),
+                (f"{warm.strategy} (90% warm reuse)", round(warm.expected_attempts),
+                 warm.cost_per_attempt_usd, round(warm.expected_cost_usd, 2)),
+            ],
+            title="Section 4.3 — cost of acquiring one specific identity",
+        ),
+    )
+    advantage = cost_advantage(freetext, lottery)
+    assert advantage > 10_000  # orders of magnitude cheaper
+    assert warm.expected_attempts < lottery.expected_attempts

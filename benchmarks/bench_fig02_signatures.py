@@ -1,0 +1,27 @@
+"""Figure 2: % of detected hijacks per extracted-signature type.
+
+Paper: keywords alone identify ~30% of domains; keywords+sitemap add
+the biggest share (+36%); infrastructure indicators only help in
+combination with keywords or sitemap features.
+"""
+
+from repro.core.detection import indicator_breakdown
+from repro.core.reporting import percent, render_table
+
+
+def test_indicator_breakdown(paper, benchmark, emit):
+    rows = benchmark(indicator_breakdown, paper.dataset)
+    emit(
+        "fig02_signature_types",
+        render_table(
+            ["indicator combination", "domains", "share"],
+            [(label, count, percent(share)) for label, count, share in rows],
+            title="Figure 2 — detected hijacks by signature indicator type",
+        ),
+    )
+    labels = {label for label, _, _ in rows}
+    assert "(none)" not in labels
+    # Keyword-bearing combinations dominate, as in the paper.
+    keyword_share = sum(share for label, _, share in rows if "keywords" in label)
+    assert keyword_share > 0.5
+    assert abs(sum(share for _, _, share in rows) - 1.0) < 1e-9

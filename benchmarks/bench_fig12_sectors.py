@@ -1,0 +1,27 @@
+"""Figure 12: abused content by enterprise sector.
+
+Paper: Industrials, Energy and Motor Vehicles lead in hijack volume,
+but the abuse is widespread across all sectors rather than targeted.
+"""
+
+from repro.core.reporting import render_table
+from repro.core.victimology import analyze_victims
+
+
+def test_sector_spread(paper, benchmark, emit):
+    report = benchmark(analyze_victims, paper.dataset, paper.organizations)
+    emit(
+        "fig12_sectors",
+        render_table(
+            ["sector", "hijacks"],
+            report.sector_counts,
+            title="Figure 12 — abused content by sector",
+        ),
+    )
+    sectors = dict(report.sector_counts)
+    assert len(sectors) >= 6  # widespread, not localized
+    top_sector, top_count = report.sector_counts[0]
+    assert top_count / sum(sectors.values()) < 0.5  # no single-sector story
+    heavy = {"Industrials", "Energy", "Motor Vehicles & Parts"}
+    top3 = {name for name, _ in report.sector_counts[:5]}
+    assert heavy & top3  # the big-estate sectors rank high

@@ -1,0 +1,36 @@
+"""Figure 18 + Section 5.2.3: WHOIS age of abused SLDs, TLS, HSTS.
+
+Paper: 98.51% of hijacked SLDs are older than a year, the vast majority
+over a decade — attackers select for inherited reputation; 18.2% of
+abused (sub)domains had valid certificates; >16% of parents send HSTS.
+"""
+
+from repro.core.reporting import percent, render_histogram, render_table
+from repro.core.reputation import analyze_reputation
+
+
+def test_domain_age_distribution(paper, benchmark, emit):
+    report = benchmark.pedantic(
+        analyze_reputation,
+        args=(paper.dataset, paper.internet.whois, paper.internet.ct_log,
+              paper.internet.client, paper.end),
+        rounds=3, iterations=1,
+    )
+    emit(
+        "fig18_domain_age",
+        render_histogram(report.age_histogram(), title="Figure 18 — WHOIS age of abused SLDs (years)")
+        + "\n\n"
+        + render_table(
+            ["statistic", "value", "paper"],
+            [
+                ("older than 1 year", percent(report.older_than_year_share), "98.51%"),
+                ("older than a decade", percent(report.older_than_decade_share), "majority"),
+                ("abused FQDNs with certificates", percent(report.certified_share), "18.2%"),
+                ("parents sending HSTS", percent(report.hsts_parent_share), ">16%"),
+            ],
+        ),
+    )
+    assert report.older_than_year_share > 0.9
+    assert report.older_than_decade_share > 0.4
+    assert 0.05 < report.certified_share < 0.5
+    assert 0.03 < report.hsts_parent_share < 0.5

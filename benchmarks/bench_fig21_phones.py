@@ -1,0 +1,29 @@
+"""Figure 21: geo-distribution of phone numbers on abuse pages.
+
+Paper: 792 unique phone numbers found via WhatsApp links — all with
+Asian country codes, primarily Indonesia and Cambodia.
+"""
+
+from repro.core.identifiers import extract_identifiers, phone_geo_distribution
+from repro.core.reporting import render_table
+
+
+def test_phone_geo_distribution(paper, benchmark, emit):
+    identifier_map = benchmark(extract_identifiers, paper.dataset, paper.monitor.store)
+    distribution = phone_geo_distribution(identifier_map)
+    emit(
+        "fig21_phone_geo",
+        render_table(
+            ["country", "unique phone numbers"],
+            distribution,
+            title=(
+                f"Figure 21 — phone numbers by country code "
+                f"({len(identifier_map.phones)} unique; paper: 792, all Asian)"
+            ),
+        ),
+    )
+    assert identifier_map.phones
+    countries = dict(distribution)
+    assert max(countries, key=countries.get) == "ID"  # Indonesia first
+    asian = {"ID", "KH", "TH", "VN", "MY", "PH"}
+    assert sum(v for k, v in countries.items() if k in asian) == sum(countries.values())

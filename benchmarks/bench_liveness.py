@@ -1,0 +1,46 @@
+"""Section 2: ICMP vs TCP vs HTTP liveness measurement comparison.
+
+Paper: among cloud-hosted domains of the hijacked dataset, ICMP reaches
+72%, TCP 80/443 reaches 93%, HTTP to the actual FQDN 89% — i.e. ICMP
+overestimates vulnerability by ~20 points and TCP underestimates it
+slightly, because transport probes hit the shared edge rather than the
+virtually hosted resource.
+"""
+
+from repro.core.liveness import compare_liveness
+from repro.core.reporting import percent, render_table
+
+
+def test_liveness_comparison(paper, benchmark, emit):
+    internet = paper.internet
+    monitored = sorted(paper.collector.monitored)
+    report = benchmark(
+        compare_liveness,
+        monitored,
+        internet.resolver,
+        internet.network,
+        internet.client,
+        paper.end,
+    )
+    live = [r.fqdn for r in paper.dataset.records() if r.currently_abused]
+    live_report = compare_liveness(
+        live, internet.resolver, internet.network, internet.client, paper.end
+    )
+    emit(
+        "section2_liveness",
+        render_table(
+            ["population", "n", "icmp", "tcp-80/443", "http-fqdn"],
+            [
+                ("all monitored", report.total, percent(report.icmp_rate),
+                 percent(report.tcp_rate), percent(report.http_rate)),
+                ("live hijacks", live_report.total, percent(live_report.icmp_rate),
+                 percent(live_report.tcp_rate), percent(live_report.http_rate)),
+            ],
+            title="Liveness by probe method (paper: icmp 72% / tcp 93% / http 89%)",
+        ),
+    )
+    # Shape: ICMP under-reports liveness; TCP can only over-report vs HTTP.
+    assert report.icmp_rate < report.http_rate
+    assert report.tcp_rate >= report.http_rate
+    ratio = report.icmp_rate / report.tcp_rate
+    assert 0.6 < ratio < 0.9  # paper: 72/93 ≈ 0.77

@@ -1,0 +1,41 @@
+"""Micro-benchmarks of the pipeline's hot paths.
+
+Not a paper artifact — throughput numbers for the three operations the
+longitudinal pipeline performs millions of times: Algorithm-1
+collection, weekly monitor sampling, and recursive resolution.
+"""
+
+from repro.core.collection import collect_fqdns
+from repro.core.monitoring import MonitorConfig, WeeklyMonitor
+
+
+def test_algorithm1_throughput(paper, benchmark):
+    names = sorted(paper.collector.monitored)[:500]
+    internet = paper.internet
+    selected = benchmark(
+        collect_fqdns, names, internet.catalog.suffixes,
+        internet.catalog.cloud_ips, internet.resolver,
+    )
+    assert len(selected) >= len(names) // 2
+
+
+def test_resolver_throughput(paper, benchmark):
+    names = sorted(paper.collector.monitored)[:500]
+    resolver = paper.internet.resolver
+
+    def resolve_all():
+        return sum(1 for n in names if resolver.resolve_a_with_chain(n).ok)
+
+    resolved = benchmark(resolve_all)
+    assert resolved > 0
+
+
+def test_monitor_sample_throughput(paper, benchmark):
+    names = sorted(paper.collector.monitored)[:200]
+    monitor = WeeklyMonitor(paper.internet.client, config=MonitorConfig())
+
+    def sweep_once():
+        return monitor.sweep(names, paper.end)
+
+    benchmark.pedantic(sweep_once, rounds=3, iterations=1)
+    assert monitor.samples_taken >= 200

@@ -1,0 +1,49 @@
+"""Section 5.2.3's consequence, measured: search-result poisoning.
+
+The paper explains the mechanism (inherited reputation + SEO signals);
+with a search engine in the simulation the outcome is quantifiable:
+for Indonesian-gambling queries, hijacked subdomains of reputable
+organizations flood the top results.
+"""
+
+import pytest
+
+from repro.core.reporting import percent, render_table
+from repro.core.search_poisoning import measure_poisoning
+from repro.search.crawler import Crawler
+from repro.search.engine import SearchEngine
+
+
+@pytest.fixture(scope="module")
+def engine(paper):
+    engine = SearchEngine(
+        Crawler(paper.internet.client, pages_per_host=3),
+        paper.internet.whois,
+        paper.internet.ct_log,
+    )
+    engine.crawl(sorted(paper.collector.monitored), paper.end)
+    return engine
+
+
+def test_search_poisoning(paper, engine, benchmark, emit):
+    report = benchmark(measure_poisoning, engine, paper.dataset, paper.end)
+    emit(
+        "section523_search_poisoning",
+        render_table(
+            ["query", "poisoned results (top 10)", "share", "best poisoned rank"],
+            report.rows(),
+            title=(
+                f"Search poisoning — {report.indexed_pages} pages on "
+                f"{report.indexed_hosts} hosts indexed; mean poisoned share "
+                f"{percent(report.mean_poisoned_share)}"
+            ),
+        ),
+    )
+    gambling = next(q for q in report.queries if q.query == "slot gacor")
+    assert gambling.poisoned_share >= 0.5
+    assert gambling.best_poisoned_rank in (1, 2, 3)
+    # A query in the benign cloud-asset vocabulary stays (almost) clean.
+    corporate = engine.search("portal access administrator", paper.end, limit=10)
+    hijacked = set(paper.dataset.abused_fqdns())
+    clean = sum(1 for r in corporate if r.fqdn not in hijacked)
+    assert corporate and clean >= len(corporate) * 0.7

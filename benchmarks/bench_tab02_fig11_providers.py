@@ -1,0 +1,43 @@
+"""Table 2 + Figure 11: abused cloud services among monitored domains.
+
+Paper: Azure services host over half the abuse, AWS S3 + Elastic
+Beanstalk about a third, the rest a long tail; per-service abuse rates
+are fractions of a percent of the monitored base.
+"""
+
+from repro.core.provider_analysis import analyze_providers
+from repro.core.reporting import percent, render_table
+
+
+def test_table2_and_provider_shares(paper, benchmark, emit):
+    report = benchmark(
+        analyze_providers, paper.dataset, paper.organizations, paper.ground_truth
+    )
+    emit(
+        "tab02_fig11_providers",
+        render_table(
+            ["service", "provider", "# monitored", "# abused", "% abused"],
+            [
+                (row.service_key, row.provider, row.monitored,
+                 row.abused if row.abused else "-", percent(row.abuse_rate))
+                for row in report.rows
+            ],
+            title="Table 2 — abused cloud services among monitored domains",
+        )
+        + "\n\n"
+        + render_table(
+            ["provider", "abuses"],
+            report.provider_abuse_counts,
+            title="Figure 11 — abuse by cloud provider",
+        ),
+    )
+    shares = dict(report.provider_abuse_counts)
+    total = sum(shares.values())
+    # Azure hosts the majority, AWS roughly a third — the paper's split.
+    assert shares["Azure"] / total > 0.4
+    assert shares["Azure"] > shares.get("AWS", 0)
+    assert 0.15 < shares.get("AWS", 0) / total < 0.5
+    # Google Cloud (random names) shows zero abuse.
+    assert "Google Cloud" not in shares
+    for row in report.rows:
+        assert row.abused <= row.monitored

@@ -1,0 +1,38 @@
+"""Table 4 + Figure 17: attacker capabilities per cloud resource type.
+
+Paper: storage/CMS resources grant file/content/html/javascript;
+web apps, orchestration, CDN/LB and VMs additionally grant headers and
+https — which decides which cookies are stealable (Section 5.5).
+"""
+
+from repro.core.capabilities_analysis import capability_table, cookie_theft_matrix
+from repro.core.reporting import render_table
+
+
+def test_capability_model(paper, benchmark, emit):
+    rows = benchmark(capability_table)
+    matrix = cookie_theft_matrix()
+    emit(
+        "tab04_capabilities",
+        render_table(
+            ["service", "function", "access", "capabilities"],
+            [(r.service_key, r.function, r.access, ", ".join(r.capabilities)) for r in rows],
+            title="Table 4 — attacker capabilities by cloud resource",
+        )
+        + "\n\n"
+        + render_table(
+            ["control level", "HttpOnly", "Secure", "stealable"],
+            [(c.access, c.http_only, c.secure, c.stealable) for c in matrix],
+            title="Section 5.5 — cookie-theft matrix",
+        ),
+    )
+    by_key = {r.service_key: r for r in rows}
+    assert not by_key["aws-s3-static"].has_https
+    assert not by_key["pantheon-site"].has_headers
+    for key in ("azure-web-app", "heroku-app", "netlify-app", "azure-cdn",
+                "aws-elastic-beanstalk", "azure-cloudapp-legacy"):
+        assert by_key[key].has_https and by_key[key].has_headers
+    stealable = {(c.access, c.http_only, c.secure): c.stealable for c in matrix}
+    assert stealable[("static-content", False, False)]
+    assert not stealable[("static-content", True, False)]
+    assert stealable[("full-webserver", True, True)]

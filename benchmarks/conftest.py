@@ -1,0 +1,37 @@
+"""Benchmark fixtures.
+
+``paper`` is the full three-year default scenario — one deterministic
+run shared by every benchmark (building it takes ~30 s; each benchmark
+then measures its *analysis* over the shared world).  Every benchmark
+also writes its rendered table/figure to ``benchmarks/results/`` so the
+reproduced artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.scenario import ScenarioConfig, run_scenario
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper():
+    """The full-scale (156-week) simulated measurement."""
+    return run_scenario(ScenarioConfig())
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write (and echo) a rendered artifact for one experiment."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _emit

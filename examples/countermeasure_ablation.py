@@ -1,0 +1,57 @@
+"""Measure the Section 7 countermeasures instead of arguing them.
+
+Usage::
+
+    python examples/countermeasure_ablation.py
+
+Runs the same seeded world three times: unmodified, with provider-side
+randomized resource names, and with a one-year re-registration
+quarantine on released names — and compares the takeover counts.
+"""
+
+from datetime import timedelta
+
+from repro import ScenarioConfig, run_scenario
+from repro.core.reporting import render_table
+
+
+def main() -> None:
+    rows = []
+    for label, mutate in (
+        ("none (baseline)", lambda c: c),
+        ("randomized resource names", _set_randomize),
+        ("90-day re-registration quarantine", _set_quarantine(90)),
+        ("1-year re-registration quarantine", _set_quarantine(365)),
+    ):
+        config = mutate(ScenarioConfig.small(seed=23))
+        print(f"running: {label} ...", flush=True)
+        result = run_scenario(config)
+        rows.append(
+            (label, len(result.ground_truth), len(result.dataset),
+             result.collector.monitored_count())
+        )
+    print()
+    print(render_table(
+        ["countermeasure", "takeovers", "detected", "monitored"],
+        rows,
+        title="Countermeasure ablation (Section 7), same seed & world shape",
+    ))
+    print("\nRandomized names remove the deterministic re-registration primitive")
+    print("entirely; quarantines only help while they outlast attacker patience.")
+
+
+def _set_randomize(config: ScenarioConfig) -> ScenarioConfig:
+    config.randomize_names = True
+    return config
+
+
+def _set_quarantine(days: int):
+    def mutate(config: ScenarioConfig) -> ScenarioConfig:
+        config.reregistration_cooldown = timedelta(days=days)
+        return config
+
+    return mutate
+
+
+if __name__ == "__main__":
+    main()

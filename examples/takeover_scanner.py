@@ -1,0 +1,94 @@
+"""A subdomain-takeover walkthrough, step by step.
+
+Usage::
+
+    python examples/takeover_scanner.py
+
+Demonstrates the full mechanics of Section 4.3 on a hand-built world:
+
+1. an org provisions an Azure web app and CNAMEs a subdomain to it;
+2. the org releases the resource but forgets the CNAME (dangling);
+3. a scanner (the same loop dnsReaper/subjack-style tools run) spots
+   the re-registrable name via passive DNS + liveness fingerprinting;
+4. the attacker re-registers the freetext name, aliases the victim
+   domain, deploys SEO content and obtains a fraudulent certificate;
+5. a CT monitor on the victim's apex — the Section 5.6.3
+   countermeasure — fires within the issuance.
+"""
+
+from datetime import timedelta
+
+from repro.attacker.scanner import DanglingScanner
+from repro.dns.records import RRType, ResourceRecord
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams
+from repro.world.internet import Internet
+
+
+def main() -> None:
+    internet = Internet(RngStreams(7), SimClock())
+    clock = internet.clock
+    azure = internet.catalog.provider("Azure")
+
+    # 1. The victim sets up shop.example.com -> shop-prod.azurewebsites.net.
+    internet.whois.register("example.com", owner="Example Corp",
+                            registrar="MarkMonitor",
+                            created_at=clock.now - timedelta(days=365 * 14))
+    zone = internet.zones.create_zone("example.com")
+    resource = azure.provision("azure-web-app", "shop-prod",
+                               owner="org:example", at=clock.now)
+    zone.add(ResourceRecord("shop.example.com", RRType.CNAME,
+                            resource.generated_fqdn), clock.now)
+    azure.add_custom_domain(resource, "shop.example.com", clock.now)
+    resource.site.put_index("<html><head><title>Example Shop</title></head>"
+                            "<body><p>Welcome</p></body></html>")
+    print(f"[week 0] victim live: shop.example.com -> {resource.generated_fqdn}")
+    print(f"         fetch: {internet.client.fetch('shop.example.com', at=clock.now).response.body[:60]}")
+
+    # The owner monitors CT for their domain (Section 5.6.3).
+    alerts = []
+    internet.ct_log.monitor("example.com", alerts.append)
+
+    # 2. Months later the app is decommissioned — but not the CNAME.
+    clock.advance_days(120)
+    azure.release(resource, clock.now)
+    result = internet.resolver.resolve_a_with_chain("shop.example.com", at=clock.now)
+    print(f"[week 17] resource released; shop.example.com now {result.status.value} "
+          f"via chain {result.cname_chain}")
+
+    # 3. Attacker-side reconnaissance finds the dangling record.
+    scanner = DanglingScanner(internet)
+    candidates = scanner.find_candidates(clock.now)
+    assert candidates, "scanner should find the dangling record"
+    candidate = candidates[0]
+    print(f"[week 17] scanner: {candidate.generated_fqdn} is re-registrable "
+          f"(service {candidate.service_key}), victims {candidate.victim_fqdns}, "
+          f"reputation {candidate.reputation:.1f}")
+
+    # 4. Deterministic re-registration + alias + content + certificate.
+    clock.advance_days(7)
+    hijack = azure.provision(candidate.service_key, candidate.resource_name,
+                             owner="attacker:demo", at=clock.now)
+    azure.add_custom_domain(hijack, "shop.example.com", clock.now)
+    hijack.site.put_index(
+        '<html lang="id"><head><title>slot gacor</title>'
+        '<meta name="keywords" content="slot, judi, gacor"></head>'
+        '<body><a href="https://mega-gacor.bet/play?ref=demo1">DAFTAR</a></body></html>'
+    )
+    page = internet.client.fetch("shop.example.com", at=clock.now)
+    print(f"[week 18] hijacked! shop.example.com now serves: {page.response.body[:70]}...")
+
+    certificate = internet.issue_certificate(hijack, "shop.example.com", clock.now)
+    https = internet.client.fetch("shop.example.com", scheme="https", at=clock.now)
+    print(f"[week 18] fraudulent cert issued by {certificate.issuer} "
+          f"(single-SAN: {certificate.is_single_san}); https fetch ok: {https.ok}")
+
+    # 5. The CT monitor caught it.
+    print(f"[week 18] CT monitor alerts for example.com: {len(alerts)} "
+          f"(latest covers {alerts[-1].certificate.sans})")
+    print("\nTakeaway: the whole attack needed one free registration — and the")
+    print("only timely owner-side tripwire was Certificate Transparency.")
+
+
+if __name__ == "__main__":
+    main()

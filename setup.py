@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (offline environment).
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+fail; this shim lets ``pip install -e .`` use the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

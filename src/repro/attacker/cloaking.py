@@ -1,0 +1,31 @@
+"""Cloaking: different content for crawlers than for users.
+
+The Japanese Keyword Hack (Section 5.2.1) serves its generated spam
+pages to search-engine spiders while regular visitors see the original
+(or facade) content; ``.htaccess``/robots.txt steer crawlers into the
+spam.  :class:`CloakingSite` implements the serving side: requests with
+a crawler User-Agent get the full page store, everyone else gets only
+the index.
+"""
+
+from __future__ import annotations
+
+from repro.web.http import HttpRequest, HttpResponse, not_found
+from repro.web.site import StaticSite
+
+#: Paths every visitor may fetch regardless of user agent.
+_ALWAYS_VISIBLE = ("/", "/robots.txt", "/sitemap.xml")
+
+
+class CloakingSite(StaticSite):
+    """Serves hidden pages to crawlers only."""
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        if request.path in _ALWAYS_VISIBLE or request.path.startswith(
+            "/.well-known/"
+        ):
+            return super().handle(request)
+        if request.is_crawler:
+            return super().handle(request)
+        # Human visitors never see the parasite pages.
+        return not_found("Not Found")

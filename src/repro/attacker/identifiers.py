@@ -1,0 +1,121 @@
+"""Attacker identifier pools.
+
+Section 6 extracts four identifier families from abuse pages — phone
+numbers (via WhatsApp links, nearly all Indonesian/Cambodian, Figure
+21), chat/social contacts (Telegram, Instagram, Facebook), URL-shortener
+links, and backend IP addresses (rented from hosting providers in the
+US/FR/SG, Figure 26).  Each attacker group owns a pool of these and
+stamps subsets onto its pages; overlap across pages is what ties an
+operation together in the clustering.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.intel.shorteners import UrlShortener
+
+#: Country calling codes with Figure 21's Asia-heavy distribution.
+PHONE_COUNTRY_WEIGHTS: Tuple[Tuple[str, str, float], ...] = (
+    ("+62", "ID", 0.68),   # Indonesia
+    ("+855", "KH", 0.18),  # Cambodia
+    ("+66", "TH", 0.06),   # Thailand
+    ("+84", "VN", 0.04),   # Vietnam
+    ("+60", "MY", 0.03),   # Malaysia
+    ("+63", "PH", 0.01),   # Philippines
+)
+
+#: Hosting ranges attacker backends are rented from (must stay in sync
+#: with :data:`repro.world.internet.ATTACKER_HOSTING_RANGES`).
+BACKEND_HOSTING_CIDRS: Tuple[str, ...] = (
+    "141.98.0.0/16", "167.71.0.0/16", "51.38.0.0/16", "163.172.0.0/16",
+    "128.199.0.0/16", "159.89.0.0/16", "88.198.0.0/16", "185.56.0.0/16",
+)
+
+_SOCIAL_PLATFORMS = ("t.me", "instagram.com", "facebook.com", "twitter.com")
+
+
+@dataclass
+class IdentifierPool:
+    """One group's reusable identifiers."""
+
+    phones: List[str] = field(default_factory=list)
+    social_handles: List[str] = field(default_factory=list)
+    short_links: List[str] = field(default_factory=list)
+    backend_ips: List[str] = field(default_factory=list)
+
+    def all_identifiers(self) -> List[str]:
+        """Every identifier, for clustering ground truth."""
+        return self.phones + self.social_handles + self.short_links + self.backend_ips
+
+    def sample(self, rng: random.Random, count: int) -> List[str]:
+        """A random subset to stamp onto one page."""
+        pool = self.all_identifiers()
+        if not pool:
+            return []
+        return rng.sample(pool, min(count, len(pool)))
+
+
+def build_pool(
+    rng: random.Random,
+    shortener: UrlShortener,
+    monetized_urls: Sequence[str],
+    phone_count: int = 3,
+    social_count: int = 4,
+    short_link_count: int = 4,
+    backend_ip_count: int = 3,
+) -> IdentifierPool:
+    """Create a fresh identifier pool for one attacker group."""
+    pool = IdentifierPool()
+    for _ in range(phone_count):
+        pool.phones.append(_random_phone(rng))
+    handles = set()
+    while len(handles) < social_count:
+        platform = rng.choice(_SOCIAL_PLATFORMS)
+        handle = f"https://{platform}/{_random_handle(rng)}"
+        handles.add(handle)
+    pool.social_handles = sorted(handles)
+    for index in range(short_link_count):
+        target = monetized_urls[index % len(monetized_urls)] if monetized_urls else (
+            f"https://promo{index}.example/landing"
+        )
+        pool.short_links.append(shortener.shorten(f"{target}?src={_random_handle(rng)}"))
+    seen_ips = set()
+    while len(seen_ips) < backend_ip_count:
+        seen_ips.add(_random_backend_ip(rng))
+    pool.backend_ips = sorted(seen_ips)
+    return pool
+
+
+def phone_country(phone: str) -> str:
+    """Country code (ISO-2) of a ``+CC...`` phone identifier."""
+    for prefix, country, _ in sorted(
+        PHONE_COUNTRY_WEIGHTS, key=lambda row: -len(row[0])
+    ):
+        if phone.startswith(prefix):
+            return country
+    return "??"
+
+
+def _random_phone(rng: random.Random) -> str:
+    prefixes = [row[0] for row in PHONE_COUNTRY_WEIGHTS]
+    weights = [row[2] for row in PHONE_COUNTRY_WEIGHTS]
+    prefix = rng.choices(prefixes, weights=weights, k=1)[0]
+    number = "".join(rng.choice("0123456789") for _ in range(9))
+    return f"{prefix}8{number}"
+
+
+def _random_handle(rng: random.Random) -> str:
+    syllables = ("slot", "judi", "gacor", "bet", "win", "agen", "raja",
+                 "mega", "king", "hoki", "cuan", "dewa")
+    return f"{rng.choice(syllables)}{rng.choice(syllables)}{rng.randrange(10, 1000)}"
+
+
+def _random_backend_ip(rng: random.Random) -> str:
+    cidr = rng.choice(BACKEND_HOSTING_CIDRS)
+    network = ipaddress.ip_network(cidr)
+    offset = rng.randrange(1, network.num_addresses - 1)
+    return str(network.network_address + offset)

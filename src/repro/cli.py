@@ -1,0 +1,137 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run        [--seed N] [--weeks N] [--scale tiny|small|full]
+                               [--notify] [--randomize-names] [--export PATH]
+    python -m repro report     [--seed N] [--scale ...]
+    python -m repro audit      [--seed N] [--scale ...]
+
+``run`` executes a scenario and prints the headline summary (optionally
+exporting the abuse dataset to JSON); ``report`` adds the per-analysis
+breakdowns; ``audit`` plays the defender and surveys the attack surface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.chains import survey_attack_surface
+from repro.core.export import dataset_to_json
+from repro.core.reporting import percent, render_table
+from repro.core.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.core.scoring import score_detector
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Cloudy with a Chance of Cyberattacks' (NSDI 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("run", "run a scenario and print the summary"),
+        ("report", "run a scenario and print analysis breakdowns"),
+        ("audit", "run a scenario and survey the final attack surface"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--seed", type=int, default=42)
+        cmd.add_argument("--scale", choices=("tiny", "small", "full"), default="small")
+        cmd.add_argument("--weeks", type=int, default=None,
+                         help="override the scale preset's week count")
+        cmd.add_argument("--notify", action="store_true",
+                         help="enable the notification campaign")
+        cmd.add_argument("--randomize-names", action="store_true",
+                         help="enable the provider-side countermeasure")
+        if name == "run":
+            cmd.add_argument("--export", metavar="PATH", default=None,
+                             help="write the abuse dataset to a JSON file")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    if args.scale == "tiny":
+        config = ScenarioConfig.tiny(seed=args.seed)
+    elif args.scale == "small":
+        config = ScenarioConfig.small(seed=args.seed)
+    else:
+        config = ScenarioConfig(seed=args.seed)
+    if args.weeks is not None:
+        config.weeks = args.weeks
+    config.notify_owners = args.notify
+    config.randomize_names = args.randomize_names
+    return config
+
+
+def _print_summary(result: ScenarioResult, out) -> None:
+    score = score_detector(result.dataset, result.ground_truth)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ("weeks simulated", result.weeks_run),
+                ("monitored cloud FQDNs", result.collector.monitored_count()),
+                ("actual takeovers", len(result.ground_truth)),
+                ("abused FQDNs detected", len(result.dataset)),
+                ("signatures extracted", len(result.detector.signatures)),
+                ("precision / recall", f"{percent(score.precision)} / {percent(score.recall)}"),
+            ],
+            title="Scenario summary",
+        ),
+        file=out,
+    )
+
+
+def _print_report(result: ScenarioResult, out) -> None:
+    from repro.core.paper_report import build_report
+
+    print(build_report(result), file=out)
+
+
+def _print_audit(result: ScenarioResult, out) -> None:
+    survey = survey_attack_surface(
+        result.internet, sorted(result.collector.monitored), result.end
+    )
+    print(
+        render_table(
+            ["chain status", "FQDNs"], survey.rows(),
+            title=f"Attack surface at {result.end.date()} "
+                  f"({survey.hijackable} deterministically hijackable)",
+        ),
+        file=out,
+    )
+    exposed = [r for r in survey.reports if r.hijackable]
+    if exposed:
+        print(
+            render_table(
+                ["FQDN", "service", "re-registrable name"],
+                [(r.fqdn, r.service_key, r.resource_name) for r in exposed],
+                title="\nHijackable right now",
+            ),
+            file=out,
+        )
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = _build_parser().parse_args(argv)
+    config = _config_from_args(args)
+    result = run_scenario(config)
+    if args.command == "run":
+        _print_summary(result, out)
+        if args.export:
+            with open(args.export, "w", encoding="utf-8") as handle:
+                handle.write(dataset_to_json(result.dataset, indent=2))
+            print(f"\ndataset exported to {args.export}", file=out)
+    elif args.command == "report":
+        _print_report(result, out)
+    elif args.command == "audit":
+        _print_audit(result, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

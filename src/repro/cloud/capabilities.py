@@ -1,0 +1,77 @@
+"""Attacker-capability model (Table 4 / Figure 17).
+
+What an attacker can do with a hijacked resource is a function of the
+*degree of control* the resource grants:
+
+* **static content** (S3 static hosting, a CMS): the provider's
+  webserver reads and returns attacker files — file/content/html/
+  javascript capabilities, but no response headers and no TLS
+  configuration by default;
+* **full webserver** (web apps, orchestration, CDN/LB endpoints,
+  VMs): requests are processed by attacker-controlled logic — all of
+  the above plus headers and https.
+
+The cookie consequences (Section 5.5): javascript capability reads
+non-HttpOnly cookies; headers capability reads *all* cookies; https
+capability additionally receives Secure cookies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class AccessLevel(enum.Enum):
+    """Degree of control a resource type grants (Figure 17 columns)."""
+
+    STATIC_CONTENT = "static-content"
+    FULL_WEBSERVER = "full-webserver"
+    DNS_ZONE = "dns-zone"
+
+
+class Capability(enum.Enum):
+    """Atomic attacker capabilities (Table 4's rightmost column)."""
+
+    FILE = "file"
+    CONTENT = "content"
+    HTML = "html"
+    JAVASCRIPT = "javascript"
+    HEADERS = "headers"
+    HTTPS = "https"
+    DNS = "dns"
+
+
+_CONTENT_CAPS = frozenset(
+    {Capability.FILE, Capability.CONTENT, Capability.HTML, Capability.JAVASCRIPT}
+)
+_SERVER_CAPS = _CONTENT_CAPS | {Capability.HEADERS, Capability.HTTPS}
+_DNS_CAPS = frozenset(
+    {Capability.DNS, Capability.CONTENT, Capability.HTML, Capability.JAVASCRIPT,
+     Capability.FILE, Capability.HEADERS, Capability.HTTPS}
+)
+
+
+def capabilities_for_access(access: AccessLevel) -> FrozenSet[Capability]:
+    """The capability set granted by an access level."""
+    if access == AccessLevel.STATIC_CONTENT:
+        return _CONTENT_CAPS
+    if access == AccessLevel.FULL_WEBSERVER:
+        return _SERVER_CAPS
+    return _DNS_CAPS
+
+
+def can_steal_cookie(access: AccessLevel, http_only: bool, secure: bool) -> bool:
+    """Whether a hijacker with ``access`` can obtain such a cookie.
+
+    Implements Section 5.5's rules: HttpOnly cookies require header
+    access (full webserver); Secure cookies additionally require the
+    https capability (also full webserver, since configuring a
+    certificate needs server control).
+    """
+    caps = capabilities_for_access(access)
+    if http_only and Capability.HEADERS not in caps:
+        return False
+    if secure and Capability.HTTPS not in caps:
+        return False
+    return True

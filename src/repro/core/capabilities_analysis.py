@@ -1,0 +1,91 @@
+"""The attacker-capability model (Section 5.1, Table 4, Figure 17).
+
+Derives, for every cloud service in the catalog, the capability set a
+hijacker of that resource obtains, and the cookie-theft consequences
+(which cookie flag combinations are stealable from which resource).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.cloud.capabilities import (
+    AccessLevel,
+    Capability,
+    can_steal_cookie,
+    capabilities_for_access,
+)
+from repro.cloud.specs import DEFAULT_SERVICE_SPECS, CloudServiceSpec, NamingPolicy
+
+
+@dataclass(frozen=True)
+class CapabilityRow:
+    """One Table 4 row."""
+
+    service_key: str
+    provider: str
+    function: str
+    access: str
+    capabilities: Tuple[str, ...]
+
+    @property
+    def has_https(self) -> bool:
+        return Capability.HTTPS.value in self.capabilities
+
+    @property
+    def has_headers(self) -> bool:
+        return Capability.HEADERS.value in self.capabilities
+
+
+def capability_table(
+    specs: Tuple[CloudServiceSpec, ...] = DEFAULT_SERVICE_SPECS,
+) -> List[CapabilityRow]:
+    """Table 4: capability sets per (web-serving) cloud service."""
+    rows: List[CapabilityRow] = []
+    for spec in specs:
+        if spec.naming == NamingPolicy.DNS_ZONE:
+            continue
+        caps = sorted(c.value for c in capabilities_for_access(spec.access))
+        rows.append(
+            CapabilityRow(
+                service_key=spec.key,
+                provider=spec.provider,
+                function=spec.function,
+                access=spec.access.value,
+                capabilities=tuple(caps),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class CookieTheftCell:
+    """One cell of the cookie-theft matrix."""
+
+    access: str
+    http_only: bool
+    secure: bool
+    stealable: bool
+
+
+def cookie_theft_matrix() -> List[CookieTheftCell]:
+    """Which cookies each control level can steal (Section 5.5's rules).
+
+    Static-content control reads only JS-visible (non-HttpOnly)
+    cookies; full-webserver control reads header cookies too, and its
+    https capability additionally captures Secure cookies.
+    """
+    cells: List[CookieTheftCell] = []
+    for access in (AccessLevel.STATIC_CONTENT, AccessLevel.FULL_WEBSERVER):
+        for http_only in (False, True):
+            for secure in (False, True):
+                cells.append(
+                    CookieTheftCell(
+                        access=access.value,
+                        http_only=http_only,
+                        secure=secure,
+                        stealable=can_steal_cookie(access, http_only, secure),
+                    )
+                )
+    return cells

@@ -1,0 +1,361 @@
+"""The abuse detector: change gating, matching, extraction, records.
+
+Ties the pipeline together (Figure 25): weekly changed states are
+checked against the validated signature store; unmatched-but-suspicious
+states are queued for signature extraction together with a short
+backlog (the same change often lands on different assets weeks apart);
+freshly extracted signatures are retrospectively re-run over the whole
+snapshot history, which is how the paper back-dates hijacks it learned
+to recognise late.  Confirmed matches accumulate into
+:class:`AbuseRecord` entries with open/closed abuse episodes, the unit
+every Section 4-6 analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.content.vocab import Topic
+from repro.core.changes import ChangeEvent
+from repro.core.keywords import abuse_vocabulary_hits, classify_topic, tokenize
+from repro.core.monitoring import SnapshotFeatures, SnapshotStore
+from repro.core.signatures import (
+    BenignCorpus,
+    ExtractorConfig,
+    Signature,
+    SignatureExtractor,
+    facade_markers,
+    page_tokens,
+)
+from repro.dns.names import Name
+from repro.sim.clock import month_key
+
+
+@dataclass
+class DetectorConfig:
+    """Detector behaviour knobs."""
+
+    #: How long unmatched suspicious states stay eligible for clustering.
+    backlog_window: timedelta = timedelta(weeks=8)
+    #: Cap on the benign validation corpus (memory/validation cost).
+    benign_corpus_cap: int = 4000
+    #: Sitemap entry count that alone makes a page suspicious.
+    bulk_sitemap_count: int = 300
+    extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
+
+
+@dataclass
+class AbuseEpisode:
+    """One contiguous period an FQDN served matching abuse content."""
+
+    started_at: datetime
+    last_matched: datetime
+    ended_at: Optional[datetime] = None
+
+    @property
+    def open(self) -> bool:
+        return self.ended_at is None
+
+    def duration_days(self, now: Optional[datetime] = None) -> float:
+        end = self.ended_at or now
+        if end is None:
+            raise ValueError("episode still open; pass now=")
+        return max(0.0, (end - self.started_at).total_seconds() / 86_400.0)
+
+
+@dataclass
+class AbuseRecord:
+    """Everything detected about one abused FQDN."""
+
+    fqdn: Name
+    first_detected: datetime
+    episodes: List[AbuseEpisode] = field(default_factory=list)
+    signature_ids: Set[str] = field(default_factory=set)
+    indicator_combinations: Set[FrozenSet[str]] = field(default_factory=set)
+    topics: Set[Topic] = field(default_factory=set)
+    keywords: Set[str] = field(default_factory=set)
+    max_sitemap_count: int = -1
+    max_sitemap_size: int = -1
+    match_count: int = 0
+
+    @property
+    def currently_abused(self) -> bool:
+        return bool(self.episodes) and self.episodes[-1].open
+
+    @property
+    def last_matched(self) -> datetime:
+        return self.episodes[-1].last_matched if self.episodes else self.first_detected
+
+    def simplest_indicators(self) -> FrozenSet[str]:
+        """The smallest component combination that identified this FQDN.
+
+        This is the Figure 2 bucketing unit: a domain identifiable with
+        just keywords counts as "keywords", one that needed keywords
+        plus infrastructure counts as that pair, and so on.
+        """
+        if not self.indicator_combinations:
+            return frozenset()
+        return min(self.indicator_combinations, key=lambda c: (len(c), sorted(c)))
+
+
+class AbuseDataset:
+    """The detector's output: records keyed by FQDN."""
+
+    def __init__(self) -> None:
+        self._records: Dict[Name, AbuseRecord] = {}
+        #: month -> cumulative abused-FQDN count (Figure 1 overlay).
+        self.monthly_cumulative: Dict[str, int] = {}
+
+    def get(self, fqdn: Name) -> Optional[AbuseRecord]:
+        return self._records.get(fqdn)
+
+    def get_or_create(self, fqdn: Name, at: datetime) -> AbuseRecord:
+        record = self._records.get(fqdn)
+        if record is None:
+            record = AbuseRecord(fqdn=fqdn, first_detected=at)
+            self._records[fqdn] = record
+        return record
+
+    def records(self) -> List[AbuseRecord]:
+        return [self._records[k] for k in sorted(self._records)]
+
+    def abused_fqdns(self) -> List[Name]:
+        return sorted(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fqdn: Name) -> bool:
+        return fqdn in self._records
+
+    def snapshot_month(self, at: datetime) -> None:
+        self.monthly_cumulative[month_key(at)] = len(self._records)
+
+
+def indicator_breakdown(dataset: AbuseDataset) -> List[Tuple[str, int, float]]:
+    """Figure 2: % of detected hijacks per indicator-type combination.
+
+    Each abused FQDN is bucketed by the *smallest* signature-component
+    combination that identified it (keywords alone, keywords+sitemap,
+    keywords+infrastructure, template, ...).
+    """
+    counts: Dict[str, int] = {}
+    for record in dataset.records():
+        combo = record.simplest_indicators()
+        label = "+".join(sorted(combo)) if combo else "(none)"
+        counts[label] = counts.get(label, 0) + 1
+    total = len(dataset) or 1
+    return sorted(
+        ((label, count, count / total) for label, count in counts.items()),
+        key=lambda row: -row[1],
+    )
+
+
+def topic_breakdown(dataset: AbuseDataset) -> List[Tuple[str, int, float]]:
+    """Figure 3: content classification of hijacked domains by topic."""
+    counts: Dict[str, int] = {}
+    for record in dataset.records():
+        if record.topics:
+            for topic in record.topics:
+                counts[topic.value] = counts.get(topic.value, 0) + 1
+        else:
+            counts["(unclassified)"] = counts.get("(unclassified)", 0) + 1
+    total = sum(counts.values()) or 1
+    return sorted(
+        ((label, count, count / total) for label, count in counts.items()),
+        key=lambda row: -row[1],
+    )
+
+
+class AbuseDetector:
+    """Weekly driver of matching and signature extraction."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        config: Optional[DetectorConfig] = None,
+        whois=None,
+    ):
+        self.store = store
+        self.config = config or DetectorConfig()
+        self.benign = BenignCorpus()
+        self.extractor = SignatureExtractor(self.benign, self.config.extractor, whois=whois)
+        self.signatures: List[Signature] = []
+        self.dataset = AbuseDataset()
+        self._backlog: List[Tuple[datetime, SnapshotFeatures]] = []
+
+    # -- weekly entry point ----------------------------------------------------------
+
+    def process_week(self, changes: Sequence[ChangeEvent], at: datetime) -> List[Name]:
+        """Process one week of changes; returns newly flagged FQDNs."""
+        newly_flagged: List[Name] = []
+        unmatched_suspicious: List[SnapshotFeatures] = []
+
+        for change in changes:
+            features = change.current
+            if change.first_observation and features.reachable:
+                self._maybe_add_benign(features)
+            matched = self._match_existing(features)
+            if matched:
+                if self._record_match(features, matched, at):
+                    newly_flagged.append(features.fqdn)
+                continue
+            self._maybe_close_episode(change, at)
+            if self._is_suspicious(change):
+                unmatched_suspicious.append(features)
+
+        self._prune_backlog(at)
+        self._backlog.extend((at, f) for f in unmatched_suspicious)
+        new_signatures = self.extractor.extract(
+            [f for _, f in self._backlog], at
+        )
+        for signature in new_signatures:
+            self.signatures.append(signature)
+            newly_flagged.extend(self._rescan_history(signature))
+        if new_signatures:
+            self._drop_matched_backlog()
+        self.dataset.snapshot_month(at)
+        return sorted(set(newly_flagged))
+
+    # -- matching ---------------------------------------------------------------------
+
+    def _match_existing(
+        self, features: SnapshotFeatures
+    ) -> List[Tuple[Signature, FrozenSet[str]]]:
+        matches = []
+        for signature in self.signatures:
+            components = signature.match(features)
+            if components is not None:
+                matches.append((signature, components))
+        return matches
+
+    def _record_match(
+        self,
+        features: SnapshotFeatures,
+        matches: List[Tuple[Signature, FrozenSet[str]]],
+        at: datetime,
+        observed_at: Optional[datetime] = None,
+    ) -> bool:
+        when = observed_at or features.at
+        is_new = features.fqdn not in self.dataset
+        record = self.dataset.get_or_create(features.fqdn, when)
+        record.first_detected = min(record.first_detected, when)
+        if record.episodes and record.episodes[-1].open:
+            episode = record.episodes[-1]
+            episode.last_matched = max(episode.last_matched, when)
+            episode.started_at = min(episode.started_at, when)
+        else:
+            record.episodes.append(AbuseEpisode(started_at=when, last_matched=when))
+        for signature, components in matches:
+            record.signature_ids.add(signature.signature_id)
+            record.indicator_combinations.add(components)
+        record.keywords |= set(list(features.keywords)[:40])
+        topic = classify_topic(page_tokens(features))
+        if topic is None and features.sitemap_sample:
+            # Facade indexes hide the real content; the generated page
+            # names in the sitemap reveal the topic (Section 3.2's
+            # "behind the error pages were thousands of other pages").
+            slug_text = " ".join(
+                url.split("//", 1)[-1].split("/", 1)[-1].replace("-", " ")
+                .replace("_", " ").replace(".html", "")
+                for url in features.sitemap_sample
+            )
+            topic = classify_topic(set(tokenize(slug_text)))
+        if topic is not None:
+            record.topics.add(topic)
+        record.max_sitemap_count = max(record.max_sitemap_count, features.sitemap_count)
+        record.max_sitemap_size = max(record.max_sitemap_size, features.sitemap_size)
+        record.match_count += 1
+        return is_new
+
+    def _maybe_close_episode(self, change: ChangeEvent, at: datetime) -> None:
+        record = self.dataset.get(change.fqdn)
+        if record is None or not record.currently_abused:
+            return
+        # The FQDN changed state and no signature matches anymore: the
+        # abuse ended (owner fixed the record, or content was replaced).
+        record.episodes[-1].ended_at = change.current.at
+
+    # -- suspicion gating ---------------------------------------------------------------
+
+    def _is_suspicious(self, change: ChangeEvent) -> bool:
+        features = change.current
+        if not features.reachable:
+            return False
+        triggered = change.any_change or change.first_observation
+        if not triggered:
+            return False
+        tokens = page_tokens(features)
+        return (
+            abuse_vocabulary_hits(tokens) > 0
+            or bool(facade_markers(features))
+            or features.sitemap_count >= self.config.bulk_sitemap_count
+        )
+
+    # -- benign corpus ---------------------------------------------------------------------
+
+    def _maybe_add_benign(self, features: SnapshotFeatures) -> None:
+        if len(self.benign) >= self.config.benign_corpus_cap:
+            return
+        # Analyst-verified benign assets: first sighting, no spam
+        # vocabulary, no facade, human-scale sitemap.
+        if abuse_vocabulary_hits(page_tokens(features)) > 0:
+            return
+        if facade_markers(features):
+            return
+        if features.sitemap_count >= self.config.bulk_sitemap_count:
+            return
+        self.benign.add(features)
+
+    # -- retrospective scanning ----------------------------------------------------------------
+
+    def _rescan_history(self, signature: Signature) -> List[Name]:
+        """Run a new signature over everything already collected.
+
+        States are replayed chronologically per FQDN, and if the abuse
+        state has since been replaced by one that matches nothing (the
+        owner fixed the record), the reconstructed episode is closed at
+        that state's first sighting — retrospective detection must not
+        resurrect remediated hijacks as ongoing.
+        """
+        flagged: List[Name] = []
+        for fqdn in self.store.fqdns():
+            history = self.store.history(fqdn)
+            matches = [signature.match(state.features) for state in history]
+            if not any(components is not None for components in matches):
+                continue
+            for state, components in zip(history, matches):
+                if components is None:
+                    continue
+                if self._record_match(
+                    state.features, [(signature, components)], state.first_seen,
+                    observed_at=state.first_seen,
+                ):
+                    flagged.append(fqdn)
+            record = self.dataset.get(fqdn)
+            last_hit = max(
+                index for index, components in enumerate(matches)
+                if components is not None
+            )
+            if (
+                record is not None
+                and record.currently_abused
+                and last_hit < len(history) - 1
+            ):
+                successor = history[last_hit + 1]
+                if not self._match_existing(successor.features):
+                    record.episodes[-1].ended_at = successor.first_seen
+        return flagged
+
+    # -- backlog ----------------------------------------------------------------------------------
+
+    def _prune_backlog(self, at: datetime) -> None:
+        horizon = at - self.config.backlog_window
+        self._backlog = [(t, f) for t, f in self._backlog if t >= horizon]
+
+    def _drop_matched_backlog(self) -> None:
+        self._backlog = [
+            (t, f) for t, f in self._backlog if not self._match_existing(f)
+        ]

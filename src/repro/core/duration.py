@@ -1,0 +1,108 @@
+"""Hijack durations and time frames (Section 4.4, Figures 15/16).
+
+Lifespan is measured the way the paper measures it: from the first
+HTML sample recognised as abused to the DNS correction that ends the
+episode (observed by the monitor as the abuse state vanishing).  The
+headline shape: many hijacks are cleaned within ~15 days, but more
+than a third persist past 65 days, some beyond a year.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import List, Optional, Tuple
+
+from repro.core.detection import AbuseDataset
+
+#: The paper's discussion thresholds, in days.
+SHORT_LIVED_DAYS = 15.0
+LONG_LIVED_DAYS = 65.0
+YEAR_DAYS = 365.0
+
+
+@dataclass
+class DurationReport:
+    """Aggregate lifespan statistics."""
+
+    durations_days: List[float]
+    short_lived: int  # <= 15 days
+    medium: int  # (15, 65]
+    long_lived: int  # > 65 days
+    beyond_year: int
+
+    @property
+    def total(self) -> int:
+        return len(self.durations_days)
+
+    @property
+    def long_lived_share(self) -> float:
+        return self.long_lived / self.total if self.total else 0.0
+
+    @property
+    def short_lived_share(self) -> float:
+        return self.short_lived / self.total if self.total else 0.0
+
+    def histogram(self, bin_days: float = 15.0, max_days: float = 450.0) -> List[Tuple[str, int]]:
+        """Binned distribution for plotting Figure 15."""
+        bins: List[Tuple[str, int]] = []
+        edge = 0.0
+        while edge < max_days:
+            upper = edge + bin_days
+            count = sum(1 for d in self.durations_days if edge <= d < upper)
+            bins.append((f"{int(edge)}-{int(upper)}", count))
+            edge = upper
+        overflow = sum(1 for d in self.durations_days if d >= max_days)
+        bins.append((f">={int(max_days)}", overflow))
+        return bins
+
+
+def analyze_durations(dataset: AbuseDataset, now: datetime) -> DurationReport:
+    """Per-episode lifespans across the abuse dataset.
+
+    Episodes still open at the end of the measurement are right-censored
+    at ``now``, matching how the paper's Figure 16 draws ongoing bars.
+    """
+    durations: List[float] = []
+    for record in dataset.records():
+        for episode in record.episodes:
+            durations.append(episode.duration_days(now=now))
+    durations.sort()
+    return DurationReport(
+        durations_days=durations,
+        short_lived=sum(1 for d in durations if d <= SHORT_LIVED_DAYS),
+        medium=sum(1 for d in durations if SHORT_LIVED_DAYS < d <= LONG_LIVED_DAYS),
+        long_lived=sum(1 for d in durations if d > LONG_LIVED_DAYS),
+        beyond_year=sum(1 for d in durations if d > YEAR_DAYS),
+    )
+
+
+def hijack_time_frames(
+    dataset: AbuseDataset, now: datetime
+) -> List[Tuple[str, datetime, Optional[datetime]]]:
+    """Figure 16: one (fqdn, start, end) bar per episode, by start date.
+
+    ``end`` is ``None`` for episodes still open at the measurement end.
+    """
+    frames: List[Tuple[str, datetime, Optional[datetime]]] = []
+    for record in dataset.records():
+        for episode in record.episodes:
+            frames.append((record.fqdn, episode.started_at, episode.ended_at))
+    frames.sort(key=lambda frame: frame[1])
+    return frames
+
+
+def concurrent_hijacks(
+    dataset: AbuseDataset, instants: List[datetime]
+) -> List[Tuple[datetime, int]]:
+    """How many hijacks were live at each instant (Figure 16's density)."""
+    frames = hijack_time_frames(dataset, instants[-1] if instants else datetime.max)
+    out = []
+    for instant in instants:
+        live = sum(
+            1
+            for _, start, end in frames
+            if start <= instant and (end is None or end > instant)
+        )
+        out.append((instant, live))
+    return out

@@ -1,0 +1,91 @@
+"""Attacker economics: why freetext names win (Section 4.3).
+
+Quantifies the paper's "financially motivated selection" argument: a
+freetext resource takes one registration attempt at free-tier cost; a
+specific released IP takes an expected ``free_pool_size`` allocation
+rounds of the lottery (discounted by any warm-reuse bias prior work
+exploited), each costing instance-time.  The ratio between the two is
+the reason the dataset contains zero IP takeovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.addresses import IPv4Pool, takeover_attempts_expected
+
+
+@dataclass
+class TakeoverCost:
+    """Expected cost of acquiring one specific identity."""
+
+    strategy: str
+    expected_attempts: float
+    cost_per_attempt_usd: float
+
+    @property
+    def expected_cost_usd(self) -> float:
+        return self.expected_attempts * self.cost_per_attempt_usd
+
+
+def freetext_cost(registration_cost_usd: float = 0.0) -> TakeoverCost:
+    """Deterministic re-registration: one attempt, usually free tier."""
+    return TakeoverCost(
+        strategy="freetext-reregistration",
+        expected_attempts=1.0,
+        cost_per_attempt_usd=registration_cost_usd,
+    )
+
+
+def ip_lottery_cost(
+    pool: IPv4Pool,
+    warm_fraction: float = 0.0,
+    cost_per_allocation_usd: float = 0.0047,  # one billing-minimum VM-minute
+) -> TakeoverCost:
+    """The IP lottery: expected allocations to win one target address."""
+    return TakeoverCost(
+        strategy="ip-lottery",
+        expected_attempts=takeover_attempts_expected(pool, warm_fraction),
+        cost_per_attempt_usd=cost_per_allocation_usd,
+    )
+
+
+def simulate_lottery(
+    pool: IPv4Pool,
+    target_ip: str,
+    rng,
+    max_attempts: int = 100_000,
+) -> int:
+    """Empirically play the IP lottery for ``target_ip``.
+
+    Repeats prior work's allocate-check-release strategy ([12], [3])
+    until the target address is won or ``max_attempts`` is exhausted.
+    Returns the number of allocations performed (``max_attempts`` if
+    the attacker gave up).  The target must currently be free.
+    """
+    if pool.is_allocated(target_ip):
+        raise ValueError(f"{target_ip} is currently allocated; nothing to win")
+    held = []
+    attempts = 0
+    try:
+        while attempts < max_attempts:
+            ip = pool.allocate(rng)
+            attempts += 1
+            if ip == target_ip:
+                return attempts
+            # Strategy choice: release immediately (churn) — holding
+            # addresses shrinks the free pool but costs linearly more.
+            pool.release(ip)
+    finally:
+        for ip in held:
+            pool.release(ip)
+    return attempts
+
+
+def cost_advantage(freetext: TakeoverCost, lottery: TakeoverCost) -> float:
+    """How many times cheaper the freetext path is (in attempts).
+
+    Cost ratios degenerate when the freetext path is literally free, so
+    the advantage is expressed in expected attempts.
+    """
+    return lottery.expected_attempts / freetext.expected_attempts

@@ -1,0 +1,214 @@
+"""End-to-end scenario driver.
+
+``run_scenario`` builds one simulated Internet, populates it, and runs
+the paper's three-year loop week by week: the legitimate world evolves,
+attacker campaigns hunt and hijack, users browse (and get their cookies
+stolen), the collector keeps expanding the monitored set, the monitor
+samples every monitored FQDN, and the detector turns changes into abuse
+records.  The returned :class:`ScenarioResult` carries every component,
+so analyses can read both the *measured* view (the detector's dataset)
+and the *ground-truth* view (the hijack log) — enabling the
+precision/recall scoring the paper itself could not do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import List, Optional
+
+from repro.attacker.campaign import CampaignOrchestrator
+from repro.attacker.groups import AttackerGroup, make_default_groups
+from repro.attacker.monetization import MonetizationEcosystem
+from repro.core.changes import ChangeEvent, detect_changes
+from repro.core.collection import FqdnCollector
+from repro.core.detection import AbuseDataset, AbuseDetector, DetectorConfig
+from repro.core.malware_analysis import BinaryHarvester
+from repro.core.notifications import NotificationCampaign
+from repro.core.monitoring import MonitorConfig, WeeklyMonitor
+from repro.sim.clock import DEFAULT_START, SimClock
+from repro.sim.rng import RngStreams
+from repro.world.ground_truth import GroundTruthLog
+from repro.world.internet import Internet
+from repro.world.lifecycle import LifecycleConfig, WorldEngine
+from repro.world.organizations import Organization
+from repro.world.population import PopulationBuilder, PopulationConfig
+from repro.world.users import UserPopulation
+
+
+@dataclass
+class ScenarioConfig:
+    """All the knobs of one simulated world run."""
+
+    seed: int = 42
+    weeks: int = 156
+    start: datetime = DEFAULT_START
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+    lifecycle: LifecycleConfig = field(default_factory=LifecycleConfig)
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    attacker_groups: int = 14
+    syndicate_cells: int = 4
+    users_per_org: int = 2
+    user_org_share: float = 0.35
+    browse_visits_per_user: int = 2
+    edge_icmp_drop_rate: float = 0.28
+    #: Countermeasure knobs (Section 7 recommendations).
+    reregistration_cooldown: timedelta = timedelta(0)
+    randomize_names: bool = False
+    #: How often the collector re-ingests the passive-DNS feed.
+    collector_refresh_weeks: int = 4
+    #: Run the notification campaign: newly detected abuses trigger
+    #: victim notifications, accelerating remediation (Section 1).
+    notify_owners: bool = False
+
+    @classmethod
+    def tiny(cls, seed: int = 42) -> "ScenarioConfig":
+        """A seconds-fast preset for unit/integration tests."""
+        return cls(
+            seed=seed,
+            weeks=30,
+            population=PopulationConfig(
+                n_enterprises=16, n_universities=6, n_government=4, n_popular=12
+            ),
+            lifecycle=LifecycleConfig(weekly_release_rate=0.020),
+            attacker_groups=6,
+            syndicate_cells=2,
+            users_per_org=1,
+            user_org_share=0.5,
+        )
+
+    @classmethod
+    def small(cls, seed: int = 42) -> "ScenarioConfig":
+        """A laptop-fast preset for tests: ~1 simulated year, small world."""
+        return cls(
+            seed=seed,
+            weeks=52,
+            population=PopulationConfig(
+                n_enterprises=40, n_universities=12, n_government=10, n_popular=30
+            ),
+            lifecycle=LifecycleConfig(weekly_release_rate=0.010),
+            attacker_groups=8,
+            syndicate_cells=3,
+            users_per_org=1,
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one finished run produced."""
+
+    config: ScenarioConfig
+    internet: Internet
+    organizations: List[Organization]
+    ground_truth: GroundTruthLog
+    groups: List[AttackerGroup]
+    orchestrator: CampaignOrchestrator
+    engine: WorldEngine
+    collector: FqdnCollector
+    monitor: WeeklyMonitor
+    detector: AbuseDetector
+    users: UserPopulation
+    harvester: Optional[BinaryHarvester] = None
+    notifications: Optional["NotificationCampaign"] = None
+    monetization: Optional[MonetizationEcosystem] = None
+    weeks_run: int = 0
+
+    @property
+    def dataset(self) -> AbuseDataset:
+        """The detector's abuse dataset (the paper's measured output)."""
+        return self.detector.dataset
+
+    @property
+    def end(self) -> datetime:
+        return self.internet.clock.now
+
+
+def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
+    """Run one full world from construction to the final week."""
+    config = config or ScenarioConfig()
+    streams = RngStreams(config.seed)
+    clock = SimClock(config.start, config.start + timedelta(weeks=config.weeks))
+    internet = Internet(
+        streams,
+        clock,
+        edge_icmp_drop_rate=config.edge_icmp_drop_rate,
+        reregistration_cooldown=config.reregistration_cooldown,
+        randomize_names=config.randomize_names,
+    )
+    builder = PopulationBuilder(internet)
+    organizations = builder.build(config.population, clock.now)
+    ground_truth = GroundTruthLog()
+    engine = WorldEngine(
+        internet, organizations, builder, config.population, ground_truth,
+        config.lifecycle,
+    )
+    groups = make_default_groups(
+        streams, internet.shortener, config.attacker_groups, config.syndicate_cells
+    )
+    orchestrator = CampaignOrchestrator(internet, groups, ground_truth, organizations)
+    monetization = MonetizationEcosystem(streams.get("monetization"))
+    users = UserPopulation(
+        internet.client, streams.get("users"), monetization=monetization
+    )
+    user_rng = streams.get("user-assignment")
+    for org in organizations:
+        if user_rng.random() < config.user_org_share:
+            users.add_users_for_org(org, config.users_per_org, clock.now)
+
+    collector = FqdnCollector(
+        internet.resolver, internet.catalog.suffixes, internet.catalog.cloud_ips
+    )
+    collector.ingest(_candidate_names(internet, organizations), clock.now)
+    monitor = WeeklyMonitor(internet.client, config=config.monitor)
+    detector = AbuseDetector(monitor.store, config.detector, whois=internet.whois)
+
+    harvester = BinaryHarvester(internet.client, internet.virustotal)
+    notifications = (
+        NotificationCampaign(
+            organizations, ground_truth, internet.events,
+            streams.get("notifications"),
+        )
+        if config.notify_owners
+        else None
+    )
+    result = ScenarioResult(
+        config=config, internet=internet, organizations=organizations,
+        ground_truth=ground_truth, groups=groups, orchestrator=orchestrator,
+        engine=engine, collector=collector, monitor=monitor, detector=detector,
+        users=users, harvester=harvester, notifications=notifications,
+        monetization=monetization,
+    )
+
+    week_index = 0
+    for at in clock.weekly():
+        engine.step(at)
+        orchestrator.step(at)
+        users.weekly_browse(at, config.browse_visits_per_user)
+        if week_index % config.collector_refresh_weeks == 0:
+            collector.ingest(_candidate_names(internet, organizations), at)
+        changed_pairs = monitor.sweep(sorted(collector.monitored), at)
+        changes: List[ChangeEvent] = [
+            detect_changes(previous, current) for current, previous in changed_pairs
+        ]
+        newly_flagged = detector.process_week(changes, at)
+        if notifications is not None and newly_flagged:
+            notifications.notify(newly_flagged, at)
+        if week_index % 4 == 0:
+            harvester.harvest(detector.dataset, monitor.store, at)
+        week_index += 1
+    result.weeks_run = week_index
+    return result
+
+
+def _candidate_names(internet: Internet, organizations: List[Organization]) -> List[str]:
+    """The candidate feed: apex domains plus passive-DNS subdomains.
+
+    Mirrors Section 3.1: a seed list of high-profile domains, expanded
+    to all subdomains observed in passive DNS.
+    """
+    names: List[str] = []
+    for org in organizations:
+        names.append(org.domain)
+        names.extend(internet.passive_dns.subdomains_of(org.domain))
+    return names

@@ -1,0 +1,67 @@
+"""Detector scoring against ground truth (reproduction extension).
+
+The paper validates its detections by manual inspection and victim
+notification; it cannot measure recall because real ground truth is
+unknowable.  The simulation knows every takeover that actually
+happened, so the detector can be scored properly — including detection
+latency (time from takeover to first flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.core.detection import AbuseDataset
+from repro.world.ground_truth import GroundTruthLog
+
+
+@dataclass
+class DetectionScore:
+    """Precision/recall/latency of the detector."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    latencies_days: List[float]
+
+    @property
+    def precision(self) -> float:
+        detected = self.true_positives + self.false_positives
+        return self.true_positives / detected if detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def median_latency_days(self) -> Optional[float]:
+        if not self.latencies_days:
+            return None
+        ordered = sorted(self.latencies_days)
+        return ordered[len(ordered) // 2]
+
+
+def score_detector(dataset: AbuseDataset, ground_truth: GroundTruthLog) -> DetectionScore:
+    """Compare detected FQDNs against actual takeovers."""
+    actual: Set[str] = set(ground_truth.hijacked_fqdns())
+    detected: Set[str] = set(dataset.abused_fqdns())
+    true_positives = actual & detected
+    latencies: List[float] = []
+    for fqdn in sorted(true_positives):
+        record = dataset.get(fqdn)
+        takeover = min(r.taken_over_at for r in ground_truth.records_for(fqdn))
+        latency = (record.first_detected - takeover).total_seconds() / 86_400.0
+        latencies.append(max(0.0, latency))
+    return DetectionScore(
+        true_positives=len(true_positives),
+        false_positives=len(detected - actual),
+        false_negatives=len(actual - detected),
+        latencies_days=latencies,
+    )

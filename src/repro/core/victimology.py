@@ -1,0 +1,152 @@
+"""Victim-side breakdowns (Sections 4.1, Figures 4/5/7/8/9/12, Table 6).
+
+Who got hijacked: Tranco-ranked sites, Fortune 500 / Global 500
+enterprises, universities, sectors, TLDs, and the split of abused
+second-level domains vs subdomains.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.detection import AbuseDataset
+from repro.dns.names import registered_domain, tld_of
+from repro.world.organizations import Organization, OrgKind
+
+
+@dataclass
+class VictimologyReport:
+    """All victim-side aggregates for one abuse dataset."""
+
+    abused_fqdns: int
+    abused_slds: int
+    sld_level_abuses: int  # abused names that *are* the registered domain
+    subdomain_abuses: int
+    affected_tlds: int
+    tld_counts: List[Tuple[str, int]]
+    tranco_covered_fqdns: int
+    tranco_covered_share: float
+    hijacks_per_tranco_sld: float
+    fortune500_total: int
+    fortune500_abused: int
+    global500_total: int
+    global500_abused: int
+    universities_abused: int
+    sector_counts: List[Tuple[str, int]]
+    org_kind_counts: Dict[str, int]
+    #: (tranco rank, abused subdomain count) points for Figure 4.
+    tranco_rank_points: List[Tuple[int, int]]
+    #: Organizations abused via more than one subdomain.
+    multi_subdomain_orgs: int
+    max_subdomains_per_org: int
+
+    @property
+    def fortune500_share(self) -> float:
+        return self.fortune500_abused / self.fortune500_total if self.fortune500_total else 0.0
+
+    @property
+    def global500_share(self) -> float:
+        return self.global500_abused / self.global500_total if self.global500_total else 0.0
+
+
+def analyze_victims(
+    dataset: AbuseDataset, organizations: Sequence[Organization], top_tlds: int = 12
+) -> VictimologyReport:
+    """Compute every victim-side aggregate."""
+    by_domain: Dict[str, Organization] = {org.domain: org for org in organizations}
+    abused = dataset.abused_fqdns()
+
+    slds = set()
+    sld_level = 0
+    tld_counter: Counter = Counter()
+    org_hits: Counter = Counter()
+    for fqdn in abused:
+        sld = registered_domain(fqdn) or fqdn
+        slds.add(sld)
+        if fqdn == sld or fqdn == f"www.{sld}":
+            sld_level += 1
+        tld_counter[tld_of(fqdn)] += 1
+        org = by_domain.get(sld)
+        if org is not None:
+            org_hits[org.key] += 1
+
+    orgs_by_key = {org.key: org for org in organizations}
+    abused_orgs = [orgs_by_key[k] for k in org_hits]
+
+    fortune_total = sum(1 for o in organizations if o.is_fortune500)
+    fortune_abused = sum(1 for o in abused_orgs if o.is_fortune500)
+    global_total = sum(1 for o in organizations if o.is_global500)
+    global_abused = sum(1 for o in abused_orgs if o.is_global500)
+    universities = sum(
+        org_hits[o.key] for o in abused_orgs if o.kind == OrgKind.UNIVERSITY
+    )
+    sector_counter: Counter = Counter()
+    kind_counter: Counter = Counter()
+    for org in abused_orgs:
+        kind_counter[org.kind.value] += org_hits[org.key]
+        if org.sector:
+            sector_counter[org.sector] += org_hits[org.key]
+
+    tranco_points = sorted(
+        (o.tranco_rank, org_hits[o.key])
+        for o in abused_orgs
+        if o.tranco_rank is not None
+    )
+    tranco_fqdns = sum(count for _, count in tranco_points)
+    tranco_slds = len(tranco_points)
+
+    return VictimologyReport(
+        abused_fqdns=len(abused),
+        abused_slds=len(slds),
+        sld_level_abuses=sld_level,
+        subdomain_abuses=len(abused) - sld_level,
+        affected_tlds=len(tld_counter),
+        tld_counts=tld_counter.most_common(top_tlds),
+        tranco_covered_fqdns=tranco_fqdns,
+        tranco_covered_share=tranco_fqdns / len(abused) if abused else 0.0,
+        hijacks_per_tranco_sld=tranco_fqdns / tranco_slds if tranco_slds else 0.0,
+        fortune500_total=fortune_total,
+        fortune500_abused=fortune_abused,
+        global500_total=global_total,
+        global500_abused=global_abused,
+        universities_abused=universities,
+        sector_counts=sector_counter.most_common(),
+        org_kind_counts=dict(kind_counter),
+        tranco_rank_points=tranco_points,
+        multi_subdomain_orgs=sum(1 for c in org_hits.values() if c > 1),
+        max_subdomains_per_org=max(org_hits.values()) if org_hits else 0,
+    )
+
+
+def top_victims(
+    dataset: AbuseDataset,
+    organizations: Sequence[Organization],
+    kind: Optional[OrgKind] = None,
+    limit: int = 25,
+) -> List[Tuple[Organization, int]]:
+    """Figures 7/8/9: the top abused organizations of a kind."""
+    by_domain = {org.domain: org for org in organizations}
+    hits: Counter = Counter()
+    for fqdn in dataset.abused_fqdns():
+        sld = registered_domain(fqdn) or fqdn
+        org = by_domain.get(sld)
+        if org is None:
+            continue
+        if kind is not None and org.kind != kind:
+            continue
+        hits[org.key] += 1
+    orgs_by_key = {org.key: org for org in organizations}
+    ranked = sorted(
+        hits.items(),
+        key=lambda item: (-item[1], _rank_key(orgs_by_key[item[0]])),
+    )
+    return [(orgs_by_key[key], count) for key, count in ranked[:limit]]
+
+
+def _rank_key(org: Organization) -> int:
+    for rank in (org.fortune500_rank, org.qs_rank, org.tranco_rank):
+        if rank is not None:
+            return rank
+    return 10**9

@@ -1,0 +1,43 @@
+"""DNS substrate: names, records, zones, resolution and passive DNS.
+
+The paper's collection methodology (Algorithm 1) is pure DNS: resolve
+each candidate FQDN, inspect the CNAME chain for known cloud suffixes
+and the A records for cloud IP ranges.  This package implements the
+record semantics that methodology relies on — CNAME chain following,
+NXDOMAIN, zone mutation with timestamps (needed for the hijack-duration
+analysis of Section 4.4) — plus a FarSight-style passive DNS feed used
+for subdomain discovery (Section 3.1).
+"""
+
+from repro.dns.names import (
+    Name,
+    is_subdomain_of,
+    normalize_name,
+    parent_name,
+    registered_domain,
+    split_name,
+    tld_of,
+)
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.resolver import Resolver, ResolutionResult, ResolutionStatus
+from repro.dns.passive_dns import PassiveDNS, PassiveDNSObservation
+from repro.dns.zone import Zone, ZoneRegistry
+
+__all__ = [
+    "Name",
+    "normalize_name",
+    "split_name",
+    "parent_name",
+    "is_subdomain_of",
+    "registered_domain",
+    "tld_of",
+    "RRType",
+    "ResourceRecord",
+    "Resolver",
+    "ResolutionResult",
+    "ResolutionStatus",
+    "PassiveDNS",
+    "PassiveDNSObservation",
+    "Zone",
+    "ZoneRegistry",
+]

@@ -1,0 +1,75 @@
+"""DNS resource records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dns.names import Name, normalize_name
+
+
+class RRType(enum.Enum):
+    """The record types the reproduction needs.
+
+    ``A``/``CNAME`` drive Algorithm 1, ``NS`` models the stale-NS
+    takeover class of prior work [1], ``CAA`` drives the Section 5.6.2
+    analysis, ``TXT``/``SOA`` exist for zone realism.
+    """
+
+    A = "A"
+    AAAA = "AAAA"
+    CNAME = "CNAME"
+    NS = "NS"
+    CAA = "CAA"
+    TXT = "TXT"
+    SOA = "SOA"
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One immutable record: ``name rtype rdata``.
+
+    ``rdata`` is the normalized target name for name-valued types
+    (CNAME/NS), the address string for A/AAAA, and free text otherwise.
+    CAA rdata follows the ``flags tag value`` wire text, e.g.
+    ``0 issue "letsencrypt.example"``.
+    """
+
+    name: Name
+    rtype: RRType
+    rdata: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+        if self.rtype in (RRType.CNAME, RRType.NS):
+            object.__setattr__(self, "rdata", normalize_name(self.rdata))
+
+    @property
+    def key(self) -> str:
+        """A stable identity string for set/dict usage."""
+        return f"{self.name} {self.rtype.value} {self.rdata}"
+
+    def __str__(self) -> str:
+        return self.key
+
+
+def caa_rdata(tag: str, value: str, flags: int = 0) -> str:
+    """Build CAA rdata text, e.g. ``caa_rdata("issue", "ca.example")``."""
+    if tag not in ("issue", "issuewild", "iodef"):
+        raise ValueError(f"unknown CAA tag {tag!r}")
+    return f'{flags} {tag} "{value}"'
+
+
+def parse_caa_rdata(rdata: str) -> Optional[tuple]:
+    """Parse CAA rdata text into ``(flags, tag, value)`` or ``None``."""
+    parts = rdata.split(" ", 2)
+    if len(parts) != 3:
+        return None
+    try:
+        flags = int(parts[0])
+    except ValueError:
+        return None
+    tag = parts[1]
+    value = parts[2].strip().strip('"')
+    return (flags, tag, value)

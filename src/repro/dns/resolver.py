@@ -1,0 +1,116 @@
+"""Recursive resolution with CNAME chain following.
+
+Algorithm 1 issues an A query per FQDN and inspects both the CNAME
+chain and the terminal A records.  The resolver implements standard
+semantics: chains are followed across zones, a missing name yields
+NXDOMAIN, an existing name without the queried type yields NODATA, and
+loops or over-long chains yield SERVFAIL.  Every successful lookup can
+be mirrored into a :class:`~repro.dns.passive_dns.PassiveDNS` feed,
+which is how the simulated FarSight corpus gets populated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import List, Optional
+
+from repro.dns.names import Name, normalize_name
+from repro.dns.passive_dns import PassiveDNS
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import ZoneRegistry
+
+#: RFC-ish bound on chain length before we declare a loop.
+MAX_CHAIN_LENGTH = 16
+
+
+class ResolutionStatus(enum.Enum):
+    """Final status of a resolution."""
+
+    NOERROR = "NOERROR"
+    NXDOMAIN = "NXDOMAIN"
+    NODATA = "NODATA"
+    SERVFAIL = "SERVFAIL"
+
+
+@dataclass
+class ResolutionResult:
+    """Everything a client learns from one query.
+
+    ``cname_chain`` lists the CNAME targets traversed, in order; the
+    paper's suffix matching runs over exactly this list.  ``records``
+    holds the terminal records of the queried type (A records for the
+    usual Algorithm-1 query).
+    """
+
+    qname: Name
+    qtype: RRType
+    status: ResolutionStatus
+    cname_chain: List[Name] = field(default_factory=list)
+    records: List[ResourceRecord] = field(default_factory=list)
+
+    @property
+    def addresses(self) -> List[str]:
+        """The rdata of terminal A/AAAA records."""
+        return [r.rdata for r in self.records if r.rtype in (RRType.A, RRType.AAAA)]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the query produced usable answers."""
+        return self.status == ResolutionStatus.NOERROR and bool(self.records)
+
+
+class Resolver:
+    """A recursive resolver over a :class:`ZoneRegistry`."""
+
+    def __init__(self, zones: ZoneRegistry, passive_dns: Optional[PassiveDNS] = None):
+        self._zones = zones
+        self._passive_dns = passive_dns
+
+    def resolve(
+        self, qname: Name, qtype: RRType = RRType.A, at: Optional[datetime] = None
+    ) -> ResolutionResult:
+        """Resolve ``qname``/``qtype``, following CNAMEs.
+
+        ``at`` is the simulated query time; when given together with a
+        passive DNS feed, observations are recorded.
+        """
+        qname = normalize_name(qname)
+        chain: List[Name] = []
+        current = qname
+        seen = {current}
+        while True:
+            zone = self._zones.zone_for(current)
+            if zone is None:
+                return ResolutionResult(qname, qtype, ResolutionStatus.NXDOMAIN, chain)
+            direct = zone.lookup(current, qtype)
+            if direct:
+                self._observe(direct, at)
+                return ResolutionResult(
+                    qname, qtype, ResolutionStatus.NOERROR, chain, direct
+                )
+            cnames = [] if qtype == RRType.CNAME else zone.lookup(current, RRType.CNAME)
+            if cnames:
+                self._observe(cnames, at)
+                target = cnames[0].rdata
+                chain.append(target)
+                if target in seen or len(chain) > MAX_CHAIN_LENGTH:
+                    return ResolutionResult(qname, qtype, ResolutionStatus.SERVFAIL, chain)
+                seen.add(target)
+                current = target
+                continue
+            if zone.name_exists(current):
+                return ResolutionResult(qname, qtype, ResolutionStatus.NODATA, chain)
+            return ResolutionResult(qname, qtype, ResolutionStatus.NXDOMAIN, chain)
+
+    def resolve_a_with_chain(
+        self, qname: Name, at: Optional[datetime] = None
+    ) -> ResolutionResult:
+        """The Algorithm-1 query: A lookup returning chain + addresses."""
+        return self.resolve(qname, RRType.A, at=at)
+
+    def _observe(self, records: List[ResourceRecord], at: Optional[datetime]) -> None:
+        if self._passive_dns is not None and at is not None:
+            for record in records:
+                self._passive_dns.observe(record, at)

@@ -1,0 +1,181 @@
+"""Authoritative zones with timestamped mutation history.
+
+The hijack-duration analysis (Section 4.4) computes the lifespan of an
+abuse as the time between the first abusive HTML snapshot and the DNS
+change the owner eventually makes to fix the dangling record.  Zones
+therefore keep a full change history, not just current state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.dns.names import Name, is_subdomain_of, normalize_name, parent_name
+from repro.dns.records import RRType, ResourceRecord
+
+
+@dataclass(frozen=True)
+class ZoneChange:
+    """One mutation of a zone: a record added or removed at a time."""
+
+    at: datetime
+    action: str  # "add" | "remove"
+    record: ResourceRecord
+
+
+class Zone:
+    """All records at or below an apex name, with history."""
+
+    def __init__(self, apex: Name):
+        self.apex = normalize_name(apex)
+        self._records: Dict[Tuple[Name, RRType], List[ResourceRecord]] = {}
+        self._history: List[ZoneChange] = []
+        self._record_counts: Dict[Name, int] = {}
+
+    # -- queries ----------------------------------------------------------
+
+    def covers(self, name: Name) -> bool:
+        """Whether ``name`` falls inside this zone's namespace."""
+        return is_subdomain_of(name, self.apex)
+
+    def lookup(self, name: Name, rtype: RRType) -> List[ResourceRecord]:
+        """Current records of ``rtype`` at ``name`` (possibly empty).
+
+        Supports one-level DNS wildcards: with ``*.zone.example A x``
+        present and no exact records at ``foo.zone.example``, the
+        wildcard synthesizes an answer for the queried name.  Cloud
+        services like S3 static hosting publish exactly such wildcards,
+        which is why a deleted bucket's domain keeps resolving and
+        serving the provider 404 page.
+        """
+        normalized = normalize_name(name)
+        exact = self._records.get((normalized, rtype))
+        if exact:
+            return list(exact)
+        if self._record_counts.get(normalized, 0) > 0:
+            return []  # name exists with other types: wildcard never applies
+        parent = parent_name(normalized)
+        if parent is not None and not normalized.startswith("*."):
+            wildcard = self._records.get((f"*.{parent}", rtype))
+            if wildcard:
+                return [
+                    ResourceRecord(name=normalized, rtype=rtype, rdata=record.rdata)
+                    for record in wildcard
+                ]
+        return []
+
+    def name_exists(self, name: Name) -> bool:
+        """Whether any record type currently exists at ``name``."""
+        return self._record_counts.get(normalize_name(name), 0) > 0
+
+    def names(self) -> Set[Name]:
+        """All names that currently own at least one record."""
+        return {name for name, count in self._record_counts.items() if count > 0}
+
+    def all_records(self) -> List[ResourceRecord]:
+        """Every current record in the zone."""
+        out: List[ResourceRecord] = []
+        for records in self._records.values():
+            out.extend(records)
+        return out
+
+    @property
+    def history(self) -> List[ZoneChange]:
+        """The full mutation history, oldest first."""
+        return list(self._history)
+
+    def history_for(self, name: Name) -> List[ZoneChange]:
+        """Mutations affecting ``name``, oldest first."""
+        normalized = normalize_name(name)
+        return [change for change in self._history if change.record.name == normalized]
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, record: ResourceRecord, at: datetime) -> ResourceRecord:
+        """Add ``record`` at simulated time ``at``.
+
+        Adding an identical record twice is an error; CNAME records are
+        exclusive at a name, as in real DNS.
+        """
+        if not self.covers(record.name):
+            raise ValueError(f"{record.name} is outside zone {self.apex}")
+        if record.rtype == RRType.CNAME and self.lookup(record.name, RRType.CNAME):
+            raise ValueError(f"{record.name} already has a CNAME")
+        bucket = self._records.setdefault((record.name, record.rtype), [])
+        if record in bucket:
+            raise ValueError(f"duplicate record {record}")
+        bucket.append(record)
+        self._record_counts[record.name] = self._record_counts.get(record.name, 0) + 1
+        self._history.append(ZoneChange(at=at, action="add", record=record))
+        return record
+
+    def remove(self, record: ResourceRecord, at: datetime) -> None:
+        """Remove ``record`` at simulated time ``at``."""
+        bucket = self._records.get((record.name, record.rtype))
+        if not bucket or record not in bucket:
+            raise ValueError(f"record not present: {record}")
+        bucket.remove(record)
+        self._record_counts[record.name] -= 1
+        self._history.append(ZoneChange(at=at, action="remove", record=record))
+
+    def remove_all(self, name: Name, rtype: RRType, at: datetime) -> int:
+        """Remove every ``rtype`` record at ``name``; returns the count."""
+        removed = 0
+        for record in self.lookup(name, rtype):
+            self.remove(record, at)
+            removed += 1
+        return removed
+
+    def replace(
+        self, name: Name, rtype: RRType, rdata: str, at: datetime
+    ) -> ResourceRecord:
+        """Replace all ``rtype`` records at ``name`` with a single one."""
+        self.remove_all(name, rtype, at)
+        return self.add(ResourceRecord(name=name, rtype=rtype, rdata=rdata), at)
+
+
+class ZoneRegistry:
+    """The set of authoritative zones making up the simulated DNS.
+
+    Lookup picks the zone with the longest matching apex, mirroring
+    delegation: ``example.azurewebsites.net`` matches the provider zone
+    ``azurewebsites.net`` rather than ``net``.
+    """
+
+    def __init__(self) -> None:
+        self._zones: Dict[Name, Zone] = {}
+
+    def create_zone(self, apex: Name) -> Zone:
+        """Create and register an empty zone at ``apex``."""
+        normalized = normalize_name(apex)
+        if normalized in self._zones:
+            raise ValueError(f"zone {normalized} already exists")
+        zone = Zone(normalized)
+        self._zones[normalized] = zone
+        return zone
+
+    def get_zone(self, apex: Name) -> Optional[Zone]:
+        """The zone registered exactly at ``apex``, or ``None``."""
+        return self._zones.get(normalize_name(apex))
+
+    def zone_for(self, name: Name) -> Optional[Zone]:
+        """The most specific zone whose namespace contains ``name``.
+
+        Walks the suffixes of ``name`` from longest to shortest, so the
+        cost is O(label count), not O(zone count).
+        """
+        labels = normalize_name(name).split(".")
+        for start in range(len(labels)):
+            zone = self._zones.get(".".join(labels[start:]))
+            if zone is not None:
+                return zone
+        return None
+
+    def zones(self) -> Iterable[Zone]:
+        """All registered zones."""
+        return list(self._zones.values())
+
+    def __len__(self) -> int:
+        return len(self._zones)

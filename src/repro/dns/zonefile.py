@@ -1,0 +1,79 @@
+"""Zone master-file rendering and parsing.
+
+A pragmatic subset of RFC 1035 master-file syntax (one record per line,
+no ``$``-directives except ``$ORIGIN``), so simulated zones can be
+exported for inspection and test fixtures can be written as zone text
+rather than construction code::
+
+    $ORIGIN example.com.
+    example.com.      A     198.18.0.10
+    www.example.com.  CNAME shop.azurewebsites.net.
+    example.com.      CAA   0 issue "letsencrypt.org"
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import List, Optional
+
+from repro.dns.names import normalize_name
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.zone import Zone
+
+
+class ZoneFileError(ValueError):
+    """Raised on unparsable zone text."""
+
+
+def render_zone(zone: Zone) -> str:
+    """Serialize a zone's current records as master-file text."""
+    lines = [f"$ORIGIN {zone.apex}."]
+    for record in sorted(zone.all_records(), key=lambda r: (r.name, r.rtype.value, r.rdata)):
+        rdata = record.rdata
+        if record.rtype in (RRType.CNAME, RRType.NS):
+            rdata = f"{rdata}."
+        lines.append(f"{record.name}.\t{record.rtype.value}\t{rdata}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_zone_text(text: str, at: Optional[datetime] = None) -> Zone:
+    """Parse master-file text into a fresh :class:`Zone`.
+
+    ``at`` timestamps the record additions (defaults to epoch-of-zone
+    semantics via ``datetime.min`` — callers building fixtures should
+    pass a real simulated time).
+    """
+    at = at or datetime(1970, 1, 1)
+    origin: Optional[str] = None
+    records: List[ResourceRecord] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("$ORIGIN"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise ZoneFileError(f"line {line_number}: malformed $ORIGIN")
+            origin = normalize_name(parts[1])
+            continue
+        parts = line.split(None, 2)
+        if len(parts) != 3:
+            raise ZoneFileError(f"line {line_number}: expected 'name type rdata'")
+        name, rtype_text, rdata = parts
+        try:
+            rtype = RRType(rtype_text.upper())
+        except ValueError:
+            raise ZoneFileError(
+                f"line {line_number}: unknown record type {rtype_text!r}"
+            ) from None
+        if rtype in (RRType.CNAME, RRType.NS):
+            rdata = rdata.rstrip(".")
+        elif rtype in (RRType.CAA, RRType.TXT):
+            rdata = rdata.strip()
+        records.append(ResourceRecord(name=name, rtype=rtype, rdata=rdata))
+    if origin is None:
+        raise ZoneFileError("zone text lacks a $ORIGIN line")
+    zone = Zone(origin)
+    for record in records:
+        zone.add(record, at)
+    return zone

@@ -1,0 +1,63 @@
+"""GeoIP and IP-WHOIS intelligence.
+
+Section 6 geolocates IP addresses referenced from abuse pages and maps
+them to owning organizations via WHOIS (Figure 26).  This module is the
+simulated equivalent: CIDR blocks are annotated with a country code and
+an owning organization, and lookups resolve an address to the most
+specific annotation.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class IPWhoisRecord:
+    """Ownership and location metadata for an address block."""
+
+    cidr: str
+    country: str
+    organization: str
+
+
+class GeoIPDatabase:
+    """Longest-prefix-match database of :class:`IPWhoisRecord` entries."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[ipaddress.IPv4Network, IPWhoisRecord]] = []
+
+    def add(self, cidr: str, country: str, organization: str) -> IPWhoisRecord:
+        """Register an annotated block; overlapping blocks are allowed."""
+        network = ipaddress.ip_network(cidr, strict=False)
+        record = IPWhoisRecord(cidr=str(network), country=country, organization=organization)
+        self._entries.append((network, record))
+        return record
+
+    def lookup(self, ip: str) -> Optional[IPWhoisRecord]:
+        """Return the most specific record covering ``ip``, or ``None``."""
+        try:
+            address = ipaddress.ip_address(ip)
+        except ValueError:
+            return None
+        best: Optional[Tuple[int, IPWhoisRecord]] = None
+        for network, record in self._entries:
+            if address in network:
+                if best is None or network.prefixlen > best[0]:
+                    best = (network.prefixlen, record)
+        return best[1] if best else None
+
+    def country_of(self, ip: str) -> Optional[str]:
+        """Two-letter country code for ``ip``, or ``None`` if unknown."""
+        record = self.lookup(ip)
+        return record.country if record else None
+
+    def organization_of(self, ip: str) -> Optional[str]:
+        """Owning organization for ``ip``, or ``None`` if unknown."""
+        record = self.lookup(ip)
+        return record.organization if record else None
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,26 @@
+"""PKI substrate: certificates, CAs, domain validation, CAA and CT.
+
+Section 5.6 of the paper analyzes fraudulent certificates that
+hijackers obtain through HTTP-based domain validation, evaluates CAA
+records as a (failed) countermeasure and proposes CT monitoring as a
+better one.  This package implements those mechanisms: CAs issue after
+an HTTP-01 challenge served from the (possibly hijacked) resource,
+honour CAA records with RFC 8659 tree climbing, and log every issued
+certificate to a Certificate Transparency log that the analyses (and
+the CT-monitoring countermeasure) read.
+"""
+
+from repro.pki.caa import caa_authorizes, effective_caa_set
+from repro.pki.ca import CertificateAuthority, IssuanceError
+from repro.pki.certificate import Certificate
+from repro.pki.ct_log import CTLog, CTLogEntry
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "IssuanceError",
+    "CTLog",
+    "CTLogEntry",
+    "caa_authorizes",
+    "effective_caa_set",
+]

@@ -1,0 +1,59 @@
+"""CAA record evaluation (RFC 8659 tree climbing).
+
+Section 5.6.2 measures CAA deployment and argues it cannot stop
+hijacker issuance: the attacker simply uses whichever CA the record
+authorizes (most records authorize the free CAs everyone uses).  The
+functions here give CAs the standard pre-issuance check, and give the
+analysis the effective policy for any name.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.dns.names import Name, normalize_name, parent_name
+from repro.dns.records import RRType, parse_caa_rdata
+from repro.dns.zone import ZoneRegistry
+
+
+def effective_caa_set(zones: ZoneRegistry, name: Name) -> Optional[List[tuple]]:
+    """The CAA RRset governing ``name``.
+
+    Climbs from ``name`` toward the root and returns the first CAA
+    RRset found (parsed to ``(flags, tag, value)`` tuples), or ``None``
+    when no ancestor publishes CAA — the unrestricted default.
+    """
+    current: Optional[str] = normalize_name(name)
+    while current is not None:
+        zone = zones.zone_for(current)
+        if zone is not None:
+            records = zone.lookup(current, RRType.CAA)
+            if records:
+                parsed = [parse_caa_rdata(r.rdata) for r in records]
+                return [p for p in parsed if p is not None]
+        current = parent_name(current)
+    return None
+
+
+def authorized_issuers(zones: ZoneRegistry, name: Name) -> Optional[Set[str]]:
+    """CA identifiers allowed to issue for ``name``.
+
+    ``None`` means "anyone" (no CAA published).  An empty set means a
+    CAA RRset exists but authorizes nobody (``issue ";"``).
+    """
+    rrset = effective_caa_set(zones, name)
+    if rrset is None:
+        return None
+    issuers: Set[str] = set()
+    for _flags, tag, value in rrset:
+        if tag == "issue" and value != ";":
+            issuers.add(value.lower())
+    return issuers
+
+
+def caa_authorizes(zones: ZoneRegistry, name: Name, ca_identifier: str) -> bool:
+    """Whether ``ca_identifier`` may issue for ``name`` under CAA rules."""
+    issuers = authorized_issuers(zones, name)
+    if issuers is None:
+        return True
+    return ca_identifier.lower() in issuers

@@ -1,0 +1,80 @@
+"""X.509-shaped certificates (the fields the analyses need)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Optional, Tuple
+
+from repro.dns.names import normalize_name, parent_name
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """One issued certificate.
+
+    ``sans`` is the full Subject Alternative Name list.  Figure 20's
+    analysis splits certificates into single-SAN (one concrete name —
+    the shape a hijacker's domain-validated issuance produces) and
+    multi-SAN/wildcard (the shape legitimate bulk/managed issuance
+    produces).
+    """
+
+    serial: int
+    sans: Tuple[str, ...]
+    issuer: str
+    not_before: datetime
+    not_after: datetime
+
+    def __post_init__(self) -> None:
+        if not self.sans:
+            raise ValueError("certificate requires at least one SAN")
+        normalized = tuple(
+            san if san.startswith("*.") else normalize_name(san) for san in self.sans
+        )
+        object.__setattr__(self, "sans", normalized)
+        if self.not_after <= self.not_before:
+            raise ValueError("not_after must follow not_before")
+
+    @property
+    def subject(self) -> str:
+        """The primary (first) SAN."""
+        return self.sans[0]
+
+    @property
+    def is_wildcard(self) -> bool:
+        """Whether any SAN is a wildcard name."""
+        return any(san.startswith("*.") for san in self.sans)
+
+    @property
+    def is_single_san(self) -> bool:
+        """Exactly one SAN and it is not a wildcard — the hijack shape."""
+        return len(self.sans) == 1 and not self.is_wildcard
+
+    def matches(self, host: str) -> bool:
+        """Whether the certificate covers ``host`` (wildcards one level)."""
+        host = normalize_name(host)
+        for san in self.sans:
+            if san.startswith("*."):
+                parent = parent_name(host)
+                if parent is not None and parent == normalize_name(san[2:]):
+                    return True
+            elif san == host:
+                return True
+        return False
+
+    def valid_at(self, at: datetime) -> bool:
+        """Whether ``at`` falls in the validity window."""
+        return self.not_before <= at <= self.not_after
+
+    def validity_problem(self, host: str, at: Optional[datetime]) -> str:
+        """A TLS-handshake problem string, or '' if the cert is fine.
+
+        Used by :class:`repro.web.client.HttpClient` during simulated
+        handshakes.
+        """
+        if not self.matches(host):
+            return f"certificate does not cover {host}"
+        if at is not None and not self.valid_at(at):
+            return "certificate expired or not yet valid"
+        return ""

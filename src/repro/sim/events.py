@@ -1,0 +1,105 @@
+"""A structured, queryable event log for the simulation.
+
+Subsystems append :class:`Event` records (resource released, record
+re-registered, certificate issued, abuse detected, ...).  Analyses and
+tests query the log instead of poking at private state, which keeps the
+simulation observable the way a real measurement pipeline observes the
+Internet: through externally visible events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence in the simulated world.
+
+    Attributes
+    ----------
+    at:
+        Simulated time of the event.
+    kind:
+        Dotted category string, e.g. ``"cloud.release"`` or
+        ``"attacker.takeover"``.
+    subject:
+        The primary entity involved (an FQDN, a resource name, ...).
+    data:
+        Free-form payload for analyses.
+    """
+
+    at: datetime
+    kind: str
+    subject: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only ordered store of :class:`Event` records."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def record(self, at: datetime, kind: str, subject: str, **data: Any) -> Event:
+        """Append and return a new event."""
+        event = Event(at=at, kind=kind, subject=subject, data=dict(data))
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def query(
+        self,
+        kind: Optional[str] = None,
+        subject: Optional[str] = None,
+        since: Optional[datetime] = None,
+        until: Optional[datetime] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+    ) -> List[Event]:
+        """Return events matching all the given filters.
+
+        ``kind`` matches exactly or by dotted prefix: querying
+        ``"cloud"`` returns ``"cloud.release"`` events too.
+        """
+        out: List[Event] = []
+        for event in self._events:
+            if kind is not None and not _kind_matches(event.kind, kind):
+                continue
+            if subject is not None and event.subject != subject:
+                continue
+            if since is not None and event.at < since:
+                continue
+            if until is not None and event.at > until:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def first(self, kind: Optional[str] = None, subject: Optional[str] = None) -> Optional[Event]:
+        """Return the earliest matching event, or ``None``."""
+        matches = self.query(kind=kind, subject=subject)
+        return matches[0] if matches else None
+
+    def last(self, kind: Optional[str] = None, subject: Optional[str] = None) -> Optional[Event]:
+        """Return the latest matching event, or ``None``."""
+        matches = self.query(kind=kind, subject=subject)
+        return matches[-1] if matches else None
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Histogram of event kinds."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+def _kind_matches(kind: str, wanted: str) -> bool:
+    return kind == wanted or kind.startswith(wanted + ".")

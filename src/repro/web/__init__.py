@@ -1,0 +1,36 @@
+"""Web substrate: HTML, sitemaps, HTTP, cookies and virtual hosting.
+
+The paper's detector consumes exactly two artifacts per FQDN per week —
+the index HTML and the sitemap — plus the HTTP responses that deliver
+them.  This package models those artifacts and the serving side:
+virtual-hosting edge servers that route by ``Host`` header (the reason
+transport-level probing misjudges liveness, Section 2), per-resource
+sites, and an application-layer HTTP client that performs the paper's
+"download HTML via HTTP/S from the actual FQDN" liveness check.
+"""
+
+from repro.web.cookies import Cookie, CookieJar
+from repro.web.html import HtmlDocument, Link, Script, parse_html
+from repro.web.http import HttpRequest, HttpResponse
+from repro.web.server import VirtualHostServer
+from repro.web.site import StaticSite
+from repro.web.sitemap import Sitemap, SitemapEntry, parse_sitemap
+from repro.web.client import FetchOutcome, HttpClient
+
+__all__ = [
+    "Cookie",
+    "CookieJar",
+    "HtmlDocument",
+    "Link",
+    "Script",
+    "parse_html",
+    "HttpRequest",
+    "HttpResponse",
+    "VirtualHostServer",
+    "StaticSite",
+    "Sitemap",
+    "SitemapEntry",
+    "parse_sitemap",
+    "HttpClient",
+    "FetchOutcome",
+]

@@ -1,0 +1,113 @@
+"""The application-layer HTTP client.
+
+This is the measurement side's "download the HTML from the actual
+FQDN" check (Section 2): resolve the name, connect to the resulting
+address, send a request with the FQDN in the ``Host`` header, and (for
+HTTPS) validate the presented certificate.  Unlike transport probes it
+traverses the virtual-hosting routing logic and therefore reports the
+liveness of the *resource*, not the *server*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Dict, Optional
+
+from repro.dns.resolver import ResolutionResult, ResolutionStatus, Resolver
+from repro.net.network import Network
+from repro.web.cookies import CookieJar
+from repro.web.http import HttpRequest, HttpResponse
+
+
+class FetchStatus(enum.Enum):
+    """How a fetch attempt ended."""
+
+    OK = "ok"
+    DNS_NXDOMAIN = "dns-nxdomain"
+    DNS_ERROR = "dns-error"
+    CONNECTION_FAILED = "connection-failed"
+    TLS_ERROR = "tls-error"
+
+
+@dataclass
+class FetchOutcome:
+    """Result of one fetch: status, resolution detail and the response."""
+
+    status: FetchStatus
+    resolution: Optional[ResolutionResult] = None
+    response: Optional[HttpResponse] = None
+    ip: Optional[str] = None
+    tls_detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == FetchStatus.OK and self.response is not None
+
+
+class HttpClient:
+    """Fetch URLs through the simulated DNS and network layers."""
+
+    def __init__(self, resolver: Resolver, network: Network):
+        self._resolver = resolver
+        self._network = network
+
+    def fetch(
+        self,
+        fqdn: str,
+        path: str = "/",
+        scheme: str = "http",
+        at: Optional[datetime] = None,
+        headers: Optional[Dict[str, str]] = None,
+        cookie_jar: Optional[CookieJar] = None,
+    ) -> FetchOutcome:
+        """GET ``scheme://fqdn{path}``.
+
+        When ``cookie_jar`` is given, applicable cookies (respecting
+        the Secure flag against ``scheme``) are attached, and any
+        Set-Cookie values in the response are stored back.
+        """
+        resolution = self._resolver.resolve_a_with_chain(fqdn, at=at)
+        if resolution.status == ResolutionStatus.NXDOMAIN:
+            return FetchOutcome(FetchStatus.DNS_NXDOMAIN, resolution)
+        if not resolution.ok:
+            return FetchOutcome(FetchStatus.DNS_ERROR, resolution)
+        ip = resolution.addresses[0]
+        host = self._network.host_at(ip)
+        if host is None or not hasattr(host, "serve"):
+            return FetchOutcome(FetchStatus.CONNECTION_FAILED, resolution, ip=ip)
+        if scheme == "https":
+            problem = self._validate_tls(host, fqdn, at)
+            if problem:
+                return FetchOutcome(
+                    FetchStatus.TLS_ERROR, resolution, ip=ip, tls_detail=problem
+                )
+        request = HttpRequest(
+            host=fqdn,
+            path=path,
+            scheme=scheme,
+            headers=dict(headers or {}),
+            cookies=cookie_jar.header_for(fqdn, scheme) if cookie_jar else {},
+            cookie_objects=cookie_jar.cookies_for(fqdn, scheme) if cookie_jar else [],
+        )
+        response = host.serve(request)
+        if cookie_jar is not None:
+            for cookie in response.set_cookies:
+                cookie_jar.set(cookie)
+        return FetchOutcome(FetchStatus.OK, resolution, response=response, ip=ip)
+
+    def _validate_tls(self, host, fqdn: str, at: Optional[datetime]) -> str:
+        """Return a problem string, or '' if the handshake would succeed."""
+        getter = getattr(host, "certificate_for", None)
+        if getter is None:
+            return "server does not speak TLS"
+        certificate = getter(fqdn)
+        if certificate is None:
+            return "no certificate installed for host"
+        validity = getattr(certificate, "validity_problem", None)
+        if validity is not None:
+            problem = validity(fqdn, at)
+            if problem:
+                return problem
+        return ""

@@ -1,0 +1,216 @@
+"""A structured HTML document model and a small forgiving parser.
+
+The simulation generates pages through :class:`HtmlDocument` and
+serializes them with :meth:`HtmlDocument.render`; the measurement
+pipeline receives only the serialized string (as the real pipeline
+receives bytes off the wire) and recovers structure with
+:func:`parse_html`.  Keeping the two sides decoupled through the
+string form means the detector exercises a realistic parse path rather
+than peeking at generator objects.
+
+The parser is regex-based and deliberately tolerant: it extracts the
+features the paper's signatures use — title, language, meta tags
+(keywords / description / generator / og), anchors with their href,
+text and onclick handlers, external script sources, inline script
+bodies, image sources and visible text.
+"""
+
+from __future__ import annotations
+
+import html as _htmllib
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Link:
+    """An ``<a>`` (or ``<link>``) element."""
+
+    href: str
+    text: str = ""
+    onclick: str = ""
+    rel: str = ""
+
+
+@dataclass(frozen=True)
+class Script:
+    """A ``<script>`` element: external (``src``) or inline (``body``)."""
+
+    src: str = ""
+    body: str = ""
+
+    @property
+    def is_external(self) -> bool:
+        return bool(self.src)
+
+
+@dataclass
+class HtmlDocument:
+    """The features of one HTML page the pipeline cares about."""
+
+    title: str = ""
+    lang: str = "en"
+    meta: Dict[str, str] = field(default_factory=dict)
+    links: List[Link] = field(default_factory=list)
+    scripts: List[Script] = field(default_factory=list)
+    images: List[str] = field(default_factory=list)
+    paragraphs: List[str] = field(default_factory=list)
+    headings: List[str] = field(default_factory=list)
+
+    # -- derived features ---------------------------------------------------
+
+    @property
+    def generator(self) -> str:
+        """The Generator meta tag (Section 6's WordPress fingerprint)."""
+        return self.meta.get("generator", "")
+
+    @property
+    def meta_keywords(self) -> List[str]:
+        """Comma-split keywords meta tag (Table 5's keyword stuffing)."""
+        raw = self.meta.get("keywords", "")
+        return [k.strip().lower() for k in raw.split(",") if k.strip()]
+
+    def visible_text(self) -> str:
+        """Title, headings, paragraphs and anchor text joined."""
+        pieces = [self.title] + self.headings + self.paragraphs
+        pieces += [link.text for link in self.links if link.text]
+        return " ".join(piece for piece in pieces if piece)
+
+    def external_hosts(self) -> List[str]:
+        """Hosts referenced by absolute links, scripts and images."""
+        hosts = []
+        for url in self.all_urls():
+            host = _host_of(url)
+            if host:
+                hosts.append(host)
+        return sorted(set(hosts))
+
+    def all_urls(self) -> List[str]:
+        """Every URL referenced by the document."""
+        urls = [link.href for link in self.links if link.href]
+        urls += [script.src for script in self.scripts if script.src]
+        urls += list(self.images)
+        return urls
+
+    # -- serialization --------------------------------------------------------
+
+    def render(self) -> str:
+        """Serialize to an HTML string."""
+        out: List[str] = []
+        out.append("<!DOCTYPE html>")
+        out.append(f'<html lang="{_attr(self.lang)}">')
+        out.append("<head>")
+        out.append(f"<title>{_esc(self.title)}</title>")
+        for name, content in self.meta.items():
+            if name.startswith("og:"):
+                out.append(f'<meta property="{_attr(name)}" content="{_attr(content)}">')
+            else:
+                out.append(f'<meta name="{_attr(name)}" content="{_attr(content)}">')
+        for script in self.scripts:
+            if script.is_external:
+                out.append(f'<script src="{_attr(script.src)}"></script>')
+        out.append("</head>")
+        out.append("<body>")
+        for heading in self.headings:
+            out.append(f"<h1>{_esc(heading)}</h1>")
+        for paragraph in self.paragraphs:
+            out.append(f"<p>{_esc(paragraph)}</p>")
+        for image in self.images:
+            out.append(f'<img src="{_attr(image)}">')
+        for link in self.links:
+            onclick = f' onclick="{_attr(link.onclick)}"' if link.onclick else ""
+            rel = f' rel="{_attr(link.rel)}"' if link.rel else ""
+            out.append(f'<a href="{_attr(link.href)}"{onclick}{rel}>{_esc(link.text)}</a>')
+        for script in self.scripts:
+            if not script.is_external and script.body:
+                out.append(f"<script>{script.body}</script>")
+        out.append("</body>")
+        out.append("</html>")
+        return "\n".join(out)
+
+    def size_bytes(self) -> int:
+        """Size of the rendered page in bytes (UTF-8)."""
+        return len(self.render().encode("utf-8"))
+
+
+# -- parsing -------------------------------------------------------------------
+
+_TITLE_RE = re.compile(r"<title[^>]*>(.*?)</title>", re.S | re.I)
+_LANG_RE = re.compile(r'<html[^>]*\blang="([^"]*)"', re.I)
+_META_NAME_RE = re.compile(
+    r'<meta[^>]*\b(?:name|property)="([^"]*)"[^>]*\bcontent="([^"]*)"', re.I
+)
+_META_CONTENT_FIRST_RE = re.compile(
+    r'<meta[^>]*\bcontent="([^"]*)"[^>]*\b(?:name|property)="([^"]*)"', re.I
+)
+_A_RE = re.compile(r"<a\b([^>]*)>(.*?)</a>", re.S | re.I)
+_SCRIPT_EXT_RE = re.compile(r'<script[^>]*\bsrc="([^"]*)"[^>]*>\s*</script>', re.I)
+_SCRIPT_INLINE_RE = re.compile(r"<script(?![^>]*\bsrc=)[^>]*>(.*?)</script>", re.S | re.I)
+_IMG_RE = re.compile(r'<img[^>]*\bsrc="([^"]*)"', re.I)
+_H_RE = re.compile(r"<h[1-6][^>]*>(.*?)</h[1-6]>", re.S | re.I)
+_P_RE = re.compile(r"<p[^>]*>(.*?)</p>", re.S | re.I)
+_ATTR_RE = re.compile(r'\b([a-zA-Z-]+)="([^"]*)"')
+_TAG_STRIP_RE = re.compile(r"<[^>]+>")
+
+
+def parse_html(text: str) -> HtmlDocument:
+    """Parse an HTML string into an :class:`HtmlDocument`.
+
+    Lossy by design; unknown constructs are ignored rather than raised
+    on, because the pipeline must survive arbitrary attacker content.
+    """
+    doc = HtmlDocument()
+    title_match = _TITLE_RE.search(text)
+    if title_match:
+        doc.title = _unesc(_strip_tags(title_match.group(1)))
+    lang_match = _LANG_RE.search(text)
+    if lang_match:
+        doc.lang = lang_match.group(1)
+    for name, content in _META_NAME_RE.findall(text):
+        doc.meta[_unesc(name).lower()] = _unesc(content)
+    for content, name in _META_CONTENT_FIRST_RE.findall(text):
+        doc.meta.setdefault(_unesc(name).lower(), _unesc(content))
+    for attrs_raw, body in _A_RE.findall(text):
+        attrs = dict(_ATTR_RE.findall(attrs_raw))
+        doc.links.append(
+            Link(
+                href=_unesc(attrs.get("href", "")),
+                text=_unesc(_strip_tags(body)).strip(),
+                onclick=_unesc(attrs.get("onclick", "")),
+                rel=_unesc(attrs.get("rel", "")),
+            )
+        )
+    for src in _SCRIPT_EXT_RE.findall(text):
+        doc.scripts.append(Script(src=_unesc(src)))
+    for body in _SCRIPT_INLINE_RE.findall(text):
+        body = body.strip()
+        if body:
+            doc.scripts.append(Script(body=body))
+    doc.images = [_unesc(src) for src in _IMG_RE.findall(text)]
+    doc.headings = [_unesc(_strip_tags(h)).strip() for h in _H_RE.findall(text)]
+    doc.paragraphs = [_unesc(_strip_tags(p)).strip() for p in _P_RE.findall(text)]
+    return doc
+
+
+def _strip_tags(fragment: str) -> str:
+    return _TAG_STRIP_RE.sub(" ", fragment)
+
+
+def _esc(text: str) -> str:
+    return _htmllib.escape(text, quote=False)
+
+
+def _attr(text: str) -> str:
+    return _htmllib.escape(text, quote=True)
+
+
+def _unesc(text: str) -> str:
+    return _htmllib.unescape(text)
+
+
+def _host_of(url: str) -> Optional[str]:
+    match = re.match(r"^(?:https?:)?//([^/:?#]+)", url)
+    if match:
+        return match.group(1).lower()
+    return None

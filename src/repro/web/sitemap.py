@@ -1,0 +1,83 @@
+"""Sitemap modelling.
+
+Sitemap features are one of the paper's strongest abuse signals
+(Section 3.2): attackers upload tens of thousands of similarly named
+pages per site (Figure 6), producing multi-megabyte sitemaps, and a
+new sitemap or a 100 KB size jump is itself a signature component.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class SitemapEntry:
+    """One ``<url>`` element."""
+
+    loc: str
+    lastmod: Optional[str] = None
+
+
+@dataclass
+class Sitemap:
+    """An XML sitemap as a list of entries."""
+
+    entries: List[SitemapEntry] = field(default_factory=list)
+
+    def add(self, loc: str, lastmod: Optional[datetime] = None) -> SitemapEntry:
+        """Append an entry and return it."""
+        entry = SitemapEntry(
+            loc=loc, lastmod=lastmod.strftime("%Y-%m-%d") if lastmod else None
+        )
+        self.entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def urls(self) -> List[str]:
+        """All entry locations."""
+        return [entry.loc for entry in self.entries]
+
+    def render(self) -> str:
+        """Serialize to sitemap XML."""
+        lines = ['<?xml version="1.0" encoding="UTF-8"?>']
+        lines.append('<urlset xmlns="http://www.sitemaps.org/schemas/sitemap/0.9">')
+        for entry in self.entries:
+            lines.append("  <url>")
+            lines.append(f"    <loc>{entry.loc}</loc>")
+            if entry.lastmod:
+                lines.append(f"    <lastmod>{entry.lastmod}</lastmod>")
+            lines.append("  </url>")
+        lines.append("</urlset>")
+        return "\n".join(lines)
+
+    def size_bytes(self) -> int:
+        """Rendered size in bytes — the 100 KB-jump signal's unit."""
+        return len(self.render().encode("utf-8"))
+
+
+_URL_RE = re.compile(r"<url>(.*?)</url>", re.S)
+_LOC_RE = re.compile(r"<loc>(.*?)</loc>", re.S)
+_LASTMOD_RE = re.compile(r"<lastmod>(.*?)</lastmod>", re.S)
+
+
+def parse_sitemap(text: str) -> Sitemap:
+    """Parse sitemap XML into a :class:`Sitemap` (tolerant)."""
+    sitemap = Sitemap()
+    for block in _URL_RE.findall(text):
+        loc_match = _LOC_RE.search(block)
+        if not loc_match:
+            continue
+        lastmod_match = _LASTMOD_RE.search(block)
+        sitemap.entries.append(
+            SitemapEntry(
+                loc=loc_match.group(1).strip(),
+                lastmod=lastmod_match.group(1).strip() if lastmod_match else None,
+            )
+        )
+    return sitemap

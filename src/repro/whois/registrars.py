@@ -1,0 +1,39 @@
+"""Registrar population with realistic market concentration."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+#: (registrar name, relative market share).  Shares are loosely modelled
+#: on the real registrar market: a few giants and a long tail.
+DEFAULT_REGISTRARS: Tuple[Tuple[str, float], ...] = (
+    ("GoDaddy", 0.22),
+    ("Namecheap", 0.11),
+    ("Tucows", 0.08),
+    ("Network Solutions", 0.07),
+    ("MarkMonitor", 0.06),
+    ("CSC Corporate Domains", 0.06),
+    ("Gandi", 0.05),
+    ("1&1 IONOS", 0.05),
+    ("OVH", 0.04),
+    ("Google Domains", 0.04),
+    ("Alibaba Cloud", 0.03),
+    ("NameSilo", 0.03),
+    ("Porkbun", 0.03),
+    ("Dynadot", 0.03),
+    ("EuroDNS", 0.02),
+    ("Hover", 0.02),
+    ("Register.com", 0.02),
+    ("DreamHost", 0.02),
+    ("Hostinger", 0.01),
+    ("Epik", 0.01),
+)
+
+_NAMES: List[str] = [name for name, _ in DEFAULT_REGISTRARS]
+_WEIGHTS: List[float] = [weight for _, weight in DEFAULT_REGISTRARS]
+
+
+def pick_registrar(rng: random.Random) -> str:
+    """Draw a registrar according to market share."""
+    return rng.choices(_NAMES, weights=_WEIGHTS, k=1)[0]

@@ -1,0 +1,492 @@
+"""Population generation: organizations, domains and initial assets.
+
+Reproduces the structure of the paper's search space (Section 3.1):
+enterprises with Fortune 500 / Global 500 ranks, universities with QS
+ranks, government domains and Tranco-popular sites; TLDs distributed as
+in Table 6 (com-dominant with a long tail); WHOIS ages skewed old
+(98.5% of hijacked SLDs were older than a year, most over a decade —
+Figure 18); ~2% CAA deployment (Section 5.6.2); and a cloud-asset
+portfolio per organization whose service mix follows Table 2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.specs import NamingPolicy, spec_by_key
+from repro.dns.records import RRType, ResourceRecord, caa_rdata
+from repro.net.addresses import IPv4Pool
+from repro.web.server import dedicated_server
+from repro.web.site import StaticSite
+from repro.whois.registrars import pick_registrar
+from repro.world.internet import Internet
+from repro.world.organizations import Asset, AssetKind, Organization, OrgKind
+from repro.world.sectors import asset_multiplier, pick_sector
+
+#: Cloud service mix for CNAME assets, shaped like Table 2's monitored
+#: counts: Azure Web Apps and S3 dominate.
+DEFAULT_SERVICE_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("azure-web-app", 0.30),
+    ("aws-s3-static", 0.24),
+    ("aws-elastic-beanstalk", 0.09),
+    ("azure-traffic-manager", 0.06),
+    ("azure-cloudapp-legacy", 0.05),
+    ("azure-cdn", 0.06),
+    ("azure-cloudapp-regional", 0.06),
+    ("azure-sip-web-app", 0.01),
+    ("heroku-app", 0.05),
+    ("pantheon-site", 0.015),
+    ("netlify-app", 0.02),
+    ("gcp-appspot", 0.045),
+    ("cloudflare-lb", 0.02),
+)
+
+_SUBDOMAIN_WORDS = (
+    "app", "api", "portal", "shop", "blog", "events", "careers", "mail",
+    "dev", "staging", "test", "cdn", "static", "docs", "support", "news",
+    "m", "intranet", "survey", "promo", "campaign", "store", "beta",
+    "partners", "learn", "community", "status", "help", "secure", "my",
+)
+
+_COMPANY_SYLLABLES = (
+    "vel", "nor", "tek", "lum", "cor", "dax", "mir", "sol", "quan", "ar",
+    "zen", "hal", "ver", "om", "syn", "bal", "tri", "neo", "kap", "for",
+)
+
+_COMPANY_SUFFIXES = ("Industries", "Group", "Corp", "Systems", "Holdings",
+                     "Energy", "Motors", "Labs", "Global", "Partners")
+
+_UNIVERSITY_CITIES = (
+    "Ashford", "Brookfield", "Calderon", "Drayton", "Eastvale", "Farnham",
+    "Glenwood", "Halstead", "Irvington", "Jasper", "Kingsford", "Lakemont",
+    "Marlowe", "Northgate", "Oakhurst", "Pinecrest", "Quarry", "Rosedale",
+    "Stanton", "Thornbury", "Underwood", "Valemont", "Westbrook", "Yardley",
+)
+
+_GOV_AGENCIES = (
+    "treasury", "transport", "health", "energy", "labor", "justice",
+    "commerce", "education", "agriculture", "interior", "revenue",
+    "customs", "statistics", "environment", "housing", "defense",
+)
+
+#: TLD mix per org kind, loosely Table 6-shaped.
+_ENTERPRISE_TLDS = (("com", 0.70), ("net", 0.06), ("org", 0.04), ("de", 0.05),
+                    ("co.uk", 0.05), ("com.au", 0.03), ("com.br", 0.02),
+                    ("ca", 0.02), ("nl", 0.015), ("co.jp", 0.015), ("co", 0.01))
+_UNIVERSITY_TLDS = (("edu", 0.55), ("ac.uk", 0.15), ("edu.au", 0.10),
+                    ("ca", 0.08), ("de", 0.07), ("nl", 0.05))
+_POPULAR_TLDS = (("com", 0.68), ("org", 0.10), ("net", 0.09), ("co", 0.05),
+                 ("jp", 0.04), ("de", 0.04))
+
+
+@dataclass
+class PopulationConfig:
+    """Scale and behaviour knobs for world generation."""
+
+    n_enterprises: int = 120
+    n_universities: int = 40
+    n_government: int = 40
+    n_popular: int = 100
+    mean_assets: Dict[str, float] = field(
+        default_factory=lambda: {
+            OrgKind.ENTERPRISE.value: 11.0,
+            OrgKind.UNIVERSITY.value: 6.0,
+            OrgKind.GOVERNMENT.value: 4.0,
+            OrgKind.POPULAR_SITE.value: 6.0,
+        }
+    )
+    cloud_cname_share: float = 0.55
+    cloud_a_share: float = 0.10
+    certificate_rate: float = 0.14
+    #: Share of orgs running managed multi-SAN/wildcard certificates.
+    managed_cert_rate: float = 0.25
+    hsts_rate: float = 0.16
+    caa_rate: float = 0.02
+    caa_paid_only_rate: float = 0.004
+    #: Share of popular sites that are registrar-parked domains.
+    parked_share: float = 0.08
+    #: Share of orgs whose www record is a CNAME to a cloud resource
+    #: (the source of the paper's SLD-level hijacks, Figure 5).
+    www_cloud_share: float = 0.12
+    service_weights: Tuple[Tuple[str, float], ...] = DEFAULT_SERVICE_WEIGHTS
+    #: CIDR space organizations host their own servers in.
+    self_hosted_cidrs: Tuple[str, ...] = ("198.18.0.0/15",)
+
+
+class PopulationBuilder:
+    """Creates organizations with registered domains and live assets."""
+
+    def __init__(self, internet: Internet):
+        self._internet = internet
+        self._rng: random.Random = internet.streams.get("population")
+        self._self_pool: Optional[IPv4Pool] = None
+        self._org_serial = 0
+
+    def build(self, config: PopulationConfig, at: datetime) -> List[Organization]:
+        """Generate the full initial population at simulated time ``at``."""
+        self._self_pool = IPv4Pool(config.self_hosted_cidrs)
+        organizations: List[Organization] = []
+        for index in range(config.n_enterprises):
+            organizations.append(self._build_enterprise(index, config, at))
+        for index in range(config.n_universities):
+            organizations.append(self._build_university(index, config, at))
+        for index in range(config.n_government):
+            organizations.append(self._build_government(index, config, at))
+        for index in range(config.n_popular):
+            organizations.append(self._build_popular(index, config, at))
+        self._assign_tranco_ranks(organizations)
+        return organizations
+
+    # -- per-kind builders ------------------------------------------------------
+
+    def _build_enterprise(
+        self, index: int, config: PopulationConfig, at: datetime
+    ) -> Organization:
+        name = self._company_name()
+        org = self._new_org(
+            name=name,
+            kind=OrgKind.ENTERPRISE,
+            tld=self._pick_tld(_ENTERPRISE_TLDS),
+            country=self._rng.choice(("US", "US", "US", "GB", "DE", "JP", "FR", "CN")),
+            at=at,
+            config=config,
+        )
+        org.sector = pick_sector(self._rng)
+        if index < config.n_enterprises // 2:
+            org.fortune500_rank = index + 1
+        if self._rng.random() < 0.4:
+            org.global500_rank = index + 1 + self._rng.randrange(20)
+        count = self._asset_count(config, org)
+        self._populate_assets(org, count, config, at)
+        return org
+
+    def _build_university(
+        self, index: int, config: PopulationConfig, at: datetime
+    ) -> Organization:
+        city = _UNIVERSITY_CITIES[index % len(_UNIVERSITY_CITIES)]
+        suffix = "" if index < len(_UNIVERSITY_CITIES) else str(index)
+        org = self._new_org(
+            name=f"University of {city}{suffix}",
+            kind=OrgKind.UNIVERSITY,
+            tld=self._pick_tld(_UNIVERSITY_TLDS),
+            country=self._rng.choice(("US", "US", "GB", "AU", "CA", "DE", "NL")),
+            at=at,
+            config=config,
+            label=f"{city.lower()}{suffix}-university",
+        )
+        org.qs_rank = index * 7 + 1 + self._rng.randrange(6)
+        self._populate_assets(org, self._asset_count(config, org), config, at)
+        return org
+
+    def _build_government(
+        self, index: int, config: PopulationConfig, at: datetime
+    ) -> Organization:
+        agency = _GOV_AGENCIES[index % len(_GOV_AGENCIES)]
+        suffix = "" if index < len(_GOV_AGENCIES) else str(index)
+        org = self._new_org(
+            name=f"Department of {agency.title()}{suffix}",
+            kind=OrgKind.GOVERNMENT,
+            tld="gov",
+            country="US",
+            at=at,
+            config=config,
+            label=f"{agency}{suffix}",
+        )
+        self._populate_assets(org, self._asset_count(config, org), config, at)
+        return org
+
+    def _build_popular(
+        self, index: int, config: PopulationConfig, at: datetime
+    ) -> Organization:
+        name = self._company_name(word_count=2)
+        parked = self._rng.random() < config.parked_share
+        org = self._new_org(
+            name=name,
+            kind=OrgKind.POPULAR_SITE,
+            tld=self._pick_tld(_POPULAR_TLDS),
+            country=self._rng.choice(("US", "US", "GB", "JP", "DE", "BR", "IN")),
+            at=at,
+            config=config,
+            # Parked domains are held and managed by a single parking
+            # operator — the shared registrar/owner the rule-out keys on.
+            registrar="SedoPark Domains" if parked else None,
+            owner="SedoPark Parking Services" if parked else None,
+        )
+        org.is_parked = parked
+        self._populate_assets(org, self._asset_count(config, org), config, at)
+        return org
+
+    # -- shared construction steps --------------------------------------------------
+
+    def _new_org(
+        self,
+        name: str,
+        kind: OrgKind,
+        tld: str,
+        country: str,
+        at: datetime,
+        config: Optional[PopulationConfig] = None,
+        label: Optional[str] = None,
+        registrar: Optional[str] = None,
+        owner: Optional[str] = None,
+    ) -> Organization:
+        config = config or PopulationConfig()
+        self._org_serial += 1
+        key = label or name.lower().replace(" ", "-").replace(".", "")
+        key = f"{key}-{self._org_serial}"
+        domain = f"{key}.{tld}"
+        org = Organization(
+            key=key, display_name=name, kind=kind, domain=domain, country=country
+        )
+        created = self._domain_creation_date(at)
+        self._internet.whois.register(
+            domain,
+            owner=owner or name,
+            registrar=registrar or pick_registrar(self._rng),
+            created_at=created,
+        )
+        zone = self._internet.zones.create_zone(domain)
+        apex_site = StaticSite()
+        self._install_apex(org, apex_site, at, config)
+        ip = self._self_pool.allocate(self._rng)
+        server = dedicated_server(org.display_name, apex_site)
+        self._internet.network.bind(ip, server)
+        server.ip = ip
+        zone.add(ResourceRecord(name=domain, rtype=RRType.A, rdata=ip), at)
+        if self._rng.random() < config.www_cloud_share:
+            # Some orgs host their www on a cloud resource — when that
+            # record dangles, the hijack lands at SLD level (Figure 5's
+            # 1,565 of 17,698).
+            asset = self._add_cloud_cname_asset(org, f"www.{domain}", config, at)
+            org.assets.append(asset)
+            self._internet.resolver.resolve_a_with_chain(f"www.{domain}", at=at)
+        else:
+            zone.add(ResourceRecord(name=f"www.{domain}", rtype=RRType.A, rdata=ip), at)
+        self._maybe_add_caa(org, at, config)
+        self._maybe_issue_managed_certificate(org, at, config)
+        return org
+
+    def _install_apex(
+        self, org: Organization, site: StaticSite, at: datetime, config: PopulationConfig
+    ) -> None:
+        if org.kind == OrgKind.UNIVERSITY:
+            doc = self._internet.benign_content.university_index(org.display_name)
+        else:
+            doc = self._internet.benign_content.corporate_index(
+                org.display_name, org.sector or "services"
+            )
+        site.put_index(doc.render())
+        if self._rng.random() < config.hsts_rate:
+            site.default_headers["Strict-Transport-Security"] = "max-age=31536000"
+
+    def _maybe_add_caa(
+        self, org: Organization, at: datetime, config: PopulationConfig
+    ) -> None:
+        roll = self._rng.random()
+        zone = self._internet.zones.get_zone(org.domain)
+        if roll < config.caa_paid_only_rate:
+            zone.add(
+                ResourceRecord(org.domain, RRType.CAA, caa_rdata("issue", "digicert.com")),
+                at,
+            )
+        elif roll < config.caa_rate:
+            zone.add(
+                ResourceRecord(org.domain, RRType.CAA, caa_rdata("issue", "letsencrypt.org")),
+                at,
+            )
+
+    def _maybe_issue_managed_certificate(
+        self, org: Organization, at: datetime, config: PopulationConfig
+    ) -> None:
+        """Managed multi-SAN/wildcard issuance via DNS validation.
+
+        Populates the legitimate certificate series of Figure 20; the
+        SANs are remembered on the org so the lifecycle engine renews
+        them periodically.
+        """
+        if self._rng.random() >= config.managed_cert_rate:
+            return
+        if self._rng.random() < 0.5:
+            sans = [f"*.{org.domain}", org.domain]
+        else:
+            sans = [org.domain, f"www.{org.domain}", f"mail.{org.domain}"]
+        ca_name = self._rng.choice(("Let's Encrypt", "DigiCert", "ZeroSSL"))
+        owner = self._internet.whois.owner_of(org.domain)
+        try:
+            self._internet.cas[ca_name].issue_dns_validated(
+                sans, owner, self._internet.whois.owner_of, at
+            )
+            org.managed_cert_sans = sans
+        except Exception:
+            pass  # CAA may exclude this CA; the org simply has no cert
+
+    def _populate_assets(
+        self, org: Organization, count: int, config: PopulationConfig, at: datetime
+    ) -> None:
+        for _ in range(count):
+            self.add_asset(org, config, at)
+
+    # -- asset creation (also used by the lifecycle engine for growth) ---------------
+
+    def add_asset(
+        self, org: Organization, config: PopulationConfig, at: datetime
+    ) -> Asset:
+        """Create one new subdomain asset for ``org`` at time ``at``."""
+        fqdn = self._new_subdomain(org)
+        roll = self._rng.random()
+        if roll < config.cloud_cname_share:
+            asset = self._add_cloud_cname_asset(org, fqdn, config, at)
+        elif roll < config.cloud_cname_share + config.cloud_a_share:
+            asset = self._add_cloud_a_asset(org, fqdn, at)
+        else:
+            asset = self._add_self_hosted_asset(org, fqdn, at)
+        org.assets.append(asset)
+        # Warm passive DNS: real subdomains get resolved by real users.
+        self._internet.resolver.resolve_a_with_chain(fqdn, at=at)
+        return asset
+
+    def _add_cloud_cname_asset(
+        self, org: Organization, fqdn: str, config: PopulationConfig, at: datetime
+    ) -> Asset:
+        service_key = self._pick_service(config)
+        spec = spec_by_key(service_key)
+        provider = self._internet.catalog.provider(spec.provider)
+        label = fqdn.split(".")[0]
+        label = f"{org.key}-{label}"
+        attempt = 0
+        while not provider.is_name_available(service_key, label, at):
+            attempt += 1
+            label = f"{label}{attempt}"
+        resource = provider.provision(service_key, label, owner=org.account, at=at)
+        zone = self._internet.zones.get_zone(org.domain)
+        zone.add(
+            ResourceRecord(name=fqdn, rtype=RRType.CNAME, rdata=resource.generated_fqdn),
+            at,
+        )
+        if spec.naming in (NamingPolicy.FREETEXT, NamingPolicy.RANDOM_NAME):
+            provider.add_custom_domain(resource, fqdn, at)
+        doc = self._internet.benign_content.service_page(
+            org.display_name, fqdn.split(".")[0]
+        )
+        resource.site.put_index(doc.render())
+        asset = Asset(
+            fqdn=fqdn, kind=AssetKind.CLOUD_CNAME, org_key=org.key,
+            created_at=at, resource=resource, service_key=service_key,
+        )
+        if self._rng.random() < config.certificate_rate:
+            try:
+                self._internet.issue_certificate(resource, fqdn, at)
+                asset.has_certificate = True
+            except Exception:
+                pass  # CAA may forbid the free CA; owners give up, as observed
+        return asset
+
+    def _add_cloud_a_asset(self, org: Organization, fqdn: str, at: datetime) -> Asset:
+        service_key = self._rng.choice(("aws-ec2-ip", "gcp-vm-ip"))
+        spec = spec_by_key(service_key)
+        provider = self._internet.catalog.provider(spec.provider)
+        resource = provider.provision(
+            service_key, f"{org.key}-{fqdn.split('.')[0]}", owner=org.account, at=at
+        )
+        zone = self._internet.zones.get_zone(org.domain)
+        zone.add(ResourceRecord(name=fqdn, rtype=RRType.A, rdata=resource.ip), at)
+        doc = self._internet.benign_content.service_page(
+            org.display_name, fqdn.split(".")[0]
+        )
+        resource.site.put_index(doc.render())
+        return Asset(
+            fqdn=fqdn, kind=AssetKind.CLOUD_A, org_key=org.key,
+            created_at=at, resource=resource, service_key=service_key,
+        )
+
+    def _add_self_hosted_asset(self, org: Organization, fqdn: str, at: datetime) -> Asset:
+        ip = self._self_pool.allocate(self._rng)
+        site = StaticSite()
+        doc = self._internet.benign_content.service_page(
+            org.display_name, fqdn.split(".")[0]
+        )
+        site.put_index(doc.render())
+        server = dedicated_server(org.display_name, site)
+        self._internet.network.bind(ip, server)
+        server.ip = ip
+        zone = self._internet.zones.get_zone(org.domain)
+        zone.add(ResourceRecord(name=fqdn, rtype=RRType.A, rdata=ip), at)
+        return Asset(
+            fqdn=fqdn, kind=AssetKind.SELF_HOSTED, org_key=org.key, created_at=at
+        )
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _asset_count(self, config: PopulationConfig, org: Organization) -> int:
+        mean = config.mean_assets[org.kind.value]
+        if org.sector:
+            mean *= asset_multiplier(org.sector)
+        # Geometric-ish spread around the mean, minimum one asset.
+        return max(1, int(self._rng.expovariate(1.0 / mean)) + 1)
+
+    def _new_subdomain(self, org: Organization) -> str:
+        existing = {a.fqdn for a in org.assets}
+        for word in self._shuffled(_SUBDOMAIN_WORDS):
+            fqdn = f"{word}.{org.domain}"
+            if fqdn not in existing:
+                return fqdn
+        index = len(org.assets)
+        while True:
+            fqdn = f"svc{index}.{org.domain}"
+            if fqdn not in existing:
+                return fqdn
+            index += 1
+
+    def _shuffled(self, items) -> List[str]:
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def _pick_service(self, config: PopulationConfig) -> str:
+        keys = [key for key, _ in config.service_weights]
+        weights = [weight for _, weight in config.service_weights]
+        return self._rng.choices(keys, weights=weights, k=1)[0]
+
+    def _pick_tld(self, table) -> str:
+        tlds = [tld for tld, _ in table]
+        weights = [weight for _, weight in table]
+        return self._rng.choices(tlds, weights=weights, k=1)[0]
+
+    def _company_name(self, word_count: int = 1) -> str:
+        word = "".join(self._rng.choice(_COMPANY_SYLLABLES) for _ in range(2)).title()
+        if word_count == 2:
+            second = "".join(self._rng.choice(_COMPANY_SYLLABLES) for _ in range(2)).title()
+            return f"{word}{second}"
+        return f"{word} {self._rng.choice(_COMPANY_SUFFIXES)}"
+
+    def _domain_creation_date(self, at: datetime) -> datetime:
+        """Mostly decades-old domains; ~1.5% younger than a year."""
+        roll = self._rng.random()
+        if roll < 0.015:
+            days = self._rng.randrange(30, 365)
+        elif roll < 0.15:
+            days = self._rng.randrange(365, 5 * 365)
+        elif roll < 0.45:
+            days = self._rng.randrange(5 * 365, 12 * 365)
+        else:
+            days = self._rng.randrange(12 * 365, 26 * 365)
+        return at - timedelta(days=days)
+
+    def _assign_tranco_ranks(self, organizations: List[Organization]) -> None:
+        """Give ~70% of organizations a Tranco rank, popularity-ordered."""
+        ranked = [org for org in organizations if self._rng.random() < 0.7]
+        self._rng.shuffle(ranked)
+        # Popular sites and big enterprises cluster at the top.
+        ranked.sort(
+            key=lambda org: (
+                0 if org.kind == OrgKind.POPULAR_SITE else 1,
+                org.fortune500_rank or 10_000,
+            )
+        )
+        rank = 0
+        for org in ranked:
+            rank += 1 + self._rng.randrange(1, 900)
+            org.tranco_rank = rank

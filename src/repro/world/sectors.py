@@ -1,0 +1,43 @@
+"""Industry sectors for enterprise organizations.
+
+Weights skew asset counts so that Industrials, Energy and Motor
+Vehicles — the sectors Figure 12 shows with the highest hijack volume —
+operate the largest cloud estates, while abuse remains widespread
+across all sectors.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: (sector name, relative frequency among enterprises, asset-count multiplier)
+SECTORS: Tuple[Tuple[str, float, float], ...] = (
+    ("Industrials", 0.12, 1.6),
+    ("Energy", 0.09, 1.5),
+    ("Motor Vehicles & Parts", 0.08, 1.5),
+    ("Financials", 0.12, 1.2),
+    ("Technology", 0.11, 1.3),
+    ("Health Care", 0.09, 1.0),
+    ("Retailing", 0.08, 1.0),
+    ("Telecommunications", 0.06, 1.1),
+    ("Media & Entertainment", 0.05, 0.9),
+    ("Food & Beverage", 0.06, 0.8),
+    ("Aerospace & Defense", 0.04, 1.0),
+    ("Chemicals", 0.04, 0.9),
+    ("Transportation", 0.04, 0.8),
+    ("Hotels & Restaurants", 0.02, 0.7),
+)
+
+SECTOR_NAMES = tuple(name for name, _, _ in SECTORS)
+_WEIGHTS = tuple(weight for _, weight, _ in SECTORS)
+_MULTIPLIERS = {name: mult for name, _, mult in SECTORS}
+
+
+def pick_sector(rng) -> str:
+    """Draw a sector according to frequency weights."""
+    return rng.choices(SECTOR_NAMES, weights=_WEIGHTS, k=1)[0]
+
+
+def asset_multiplier(sector: str) -> float:
+    """Relative cloud-estate size for a sector."""
+    return _MULTIPLIERS.get(sector, 1.0)

@@ -1,0 +1,33 @@
+"""Shared fixtures.
+
+Scenario runs are expensive (seconds), so the full-pipeline results are
+session-scoped: every test that needs a finished world shares the same
+deterministic run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scenario import ScenarioConfig, run_scenario
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams
+from repro.world.internet import Internet
+
+
+@pytest.fixture()
+def internet() -> Internet:
+    """A fresh, empty simulated Internet."""
+    return Internet(RngStreams(7), SimClock())
+
+
+@pytest.fixture(scope="session")
+def tiny_result():
+    """A finished ~30-week world shared across fast integration tests."""
+    return run_scenario(ScenarioConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def small_result():
+    """A finished ~52-week world for the heavier integration tests."""
+    return run_scenario(ScenarioConfig.small())

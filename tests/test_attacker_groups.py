@@ -1,0 +1,91 @@
+"""Tests for the default attacker roster (Figure 16 / Section 6 structure)."""
+
+import random
+from datetime import datetime
+
+from repro.attacker.groups import AttackerGroup, GroupBehavior, make_default_groups
+from repro.content.vocab import Topic
+from repro.intel.shorteners import UrlShortener
+from repro.sim.rng import RngStreams
+
+
+def _groups(count=14, cells=4, seed=5):
+    streams = RngStreams(seed)
+    shortener = UrlShortener(streams.get("short"))
+    return make_default_groups(streams, shortener, count=count, syndicate_cells=cells)
+
+
+def test_roster_size_and_names():
+    groups = _groups()
+    assert len(groups) == 14
+    assert len({g.name for g in groups}) == 14
+
+
+def test_activity_windows_form_the_figure16_waves():
+    groups = _groups()
+    early = [g for g in groups if g.active_from.year == 2020]
+    late = [g for g in groups if g.active_from >= datetime(2021, 8, 1)]
+    assert early and late
+    # The 2021 lull: early-wave groups (except the anchor) retire
+    # around the start of 2021.
+    retiring = [g for g in early if g.active_until is not None]
+    assert all(g.active_until.year == 2021 for g in retiring)
+    # The ramp keeps going to the end of the window.
+    assert all(g.active_until is None for g in late)
+
+
+def test_is_active_respects_window():
+    groups = _groups()
+    group = next(g for g in groups if g.active_until is not None)
+    assert not group.is_active(group.active_from - _week())
+    assert group.is_active(group.active_from)
+    assert not group.is_active(group.active_until)
+
+
+def test_syndicate_cells_share_identifiers_and_targets():
+    groups = _groups()
+    cells = groups[:4]
+    independents = groups[4:]
+    shared = set(cells[0].identifier_pool.all_identifiers())
+    for cell in cells[1:]:
+        assert shared & set(cell.identifier_pool.all_identifiers())
+        assert set(cell.monetized_urls) == set(cells[0].monetized_urls)
+    for group in independents:
+        assert not (shared & set(group.identifier_pool.all_identifiers()))
+
+
+def test_monetization_mix_includes_ads_groups():
+    groups = _groups()
+    referral = [g for g in groups if g.monetization == "referral"]
+    ads = [g for g in groups if g.monetization == "ads"]
+    assert referral and ads
+    assert all(g.referral_code == "" for g in ads)
+    assert all(g.referral_code for g in referral)
+
+
+def test_topic_sampling_follows_weights():
+    group = _groups()[0]
+    topics = [group.pick_topic() for _ in range(500)]
+    assert topics.count(Topic.GAMBLING) > topics.count(Topic.ADULT)
+    assert topics.count(Topic.JAPANESE_SEO) < 25
+
+
+def test_page_count_sampling_is_heavy_tailed_and_bounded():
+    group = _groups()[0]
+    counts = [group.sample_page_count() for _ in range(300)]
+    assert min(counts) >= 2
+    assert max(counts) <= group.behavior.max_pages_per_site
+    ordered = sorted(counts)
+    median = ordered[len(ordered) // 2]
+    assert max(counts) > 4 * median  # heavy tail
+
+
+def test_account_naming():
+    group = _groups()[0]
+    assert group.account == f"attacker:{group.name}"
+
+
+def _week():
+    from datetime import timedelta
+
+    return timedelta(weeks=1)

@@ -1,0 +1,59 @@
+"""Tests for attacker identifier pools."""
+
+import random
+
+from repro.attacker.identifiers import (
+    BACKEND_HOSTING_CIDRS,
+    build_pool,
+    phone_country,
+)
+from repro.intel.shorteners import UrlShortener
+from repro.net.addresses import CidrSet
+
+
+def _pool(seed=1):
+    rng = random.Random(seed)
+    shortener = UrlShortener(random.Random(seed + 1))
+    return build_pool(rng, shortener, ["https://mega-gacor.bet/play"])
+
+
+def test_pool_has_all_families():
+    pool = _pool()
+    assert len(pool.phones) == 3
+    assert len(pool.social_handles) == 4
+    assert len(pool.short_links) == 4
+    assert len(pool.backend_ips) == 3
+    assert len(pool.all_identifiers()) == 14
+
+
+def test_phones_are_asian_prefixed():
+    pool = _pool()
+    for phone in pool.phones:
+        assert phone_country(phone) in {"ID", "KH", "TH", "VN", "MY", "PH"}
+
+
+def test_phone_geo_is_indonesia_heavy():
+    rng = random.Random(0)
+    shortener = UrlShortener(random.Random(1))
+    phones = []
+    for seed in range(60):
+        phones += build_pool(random.Random(seed), shortener, ["https://x.bet"]).phones
+    indonesian = sum(1 for p in phones if phone_country(p) == "ID")
+    assert indonesian / len(phones) > 0.5
+
+
+def test_backend_ips_inside_hosting_ranges():
+    ranges = CidrSet(BACKEND_HOSTING_CIDRS)
+    for ip in _pool().backend_ips:
+        assert ip in ranges
+
+
+def test_sample_bounded():
+    pool = _pool()
+    rng = random.Random(9)
+    assert len(pool.sample(rng, 3)) == 3
+    assert len(pool.sample(rng, 100)) == len(pool.all_identifiers())
+
+
+def test_phone_country_unknown():
+    assert phone_country("+19995550100") == "??"

@@ -1,0 +1,84 @@
+"""Tests for cookie-stealing and cloaking site wrappers."""
+
+from repro.attacker.cloaking import CloakingSite
+from repro.attacker.stealing import CookieStealingSite
+from repro.cloud.capabilities import AccessLevel
+from repro.web.cookies import Cookie
+from repro.web.http import HttpRequest
+
+
+def _request(path="/", ua="Chrome", cookies=None):
+    objects = cookies or []
+    return HttpRequest(
+        host="victim.com", path=path,
+        headers={"User-Agent": ua, "X-Client-IP": "198.51.100.7"},
+        cookies={c.name: c.value for c in objects},
+        cookie_objects=objects,
+    )
+
+
+def _cookies():
+    return [
+        Cookie(name="session", value="t", domain="victim.com",
+               http_only=True, is_authentication=True),
+        Cookie(name="visitor", value="v", domain="victim.com"),
+    ]
+
+
+def test_full_webserver_captures_all_cookies():
+    site = CookieStealingSite(AccessLevel.FULL_WEBSERVER)
+    site.put_index("x")
+    site.handle(_request(cookies=_cookies()))
+    names = {c.cookie.name for c in site.captured}
+    assert names == {"session", "visitor"}
+    assert site.captured[0].client_ip == "198.51.100.7"
+
+
+def test_static_content_captures_js_visible_only():
+    """Table 4 / Section 5.5: content-only control misses HttpOnly."""
+    site = CookieStealingSite(AccessLevel.STATIC_CONTENT)
+    site.put_index("x")
+    site.handle(_request(cookies=_cookies()))
+    names = {c.cookie.name for c in site.captured}
+    assert names == {"visitor"}
+
+
+def test_drain_clears_capture_buffer():
+    site = CookieStealingSite(AccessLevel.FULL_WEBSERVER)
+    site.put_index("x")
+    site.handle(_request(cookies=_cookies()))
+    drained = site.drain()
+    assert len(drained) == 2
+    assert site.drain() == []
+
+
+def test_stealing_site_still_serves_content():
+    site = CookieStealingSite(AccessLevel.FULL_WEBSERVER)
+    site.put_index("hello")
+    assert site.handle(_request()).body == "hello"
+
+
+def test_cloaking_hides_spam_pages_from_humans():
+    site = CloakingSite()
+    site.put_index("facade")
+    site.put("/spam-page.html", "日本の spam")
+    human = site.handle(_request(path="/spam-page.html", ua="Chrome"))
+    crawler = site.handle(_request(path="/spam-page.html", ua="Googlebot/2.1"))
+    assert human.status == 404
+    assert crawler.ok and "spam" in crawler.body
+
+
+def test_cloaking_serves_index_robots_sitemap_to_everyone():
+    site = CloakingSite()
+    site.put_index("facade")
+    site.put("/robots.txt", "User-agent: *", content_type="text/plain")
+    for path in ("/", "/robots.txt"):
+        assert site.handle(_request(path=path, ua="Chrome")).ok
+
+
+def test_cloaking_allows_acme_challenges():
+    """Certificate validation fetches must pass, or hijackers couldn't
+    obtain certificates from cloaked sites."""
+    site = CloakingSite()
+    site.put("/.well-known/acme-challenge/tok", "tok.auth", content_type="text/plain")
+    assert site.handle(_request(path="/.well-known/acme-challenge/tok")).ok

@@ -1,0 +1,34 @@
+"""Tests for the Table 4 capability model."""
+
+from repro.cloud.capabilities import (
+    AccessLevel,
+    Capability,
+    can_steal_cookie,
+    capabilities_for_access,
+)
+
+
+def test_static_content_capabilities():
+    caps = capabilities_for_access(AccessLevel.STATIC_CONTENT)
+    assert Capability.FILE in caps
+    assert Capability.JAVASCRIPT in caps
+    assert Capability.HEADERS not in caps
+    assert Capability.HTTPS not in caps
+
+
+def test_full_webserver_capabilities_superset():
+    static = capabilities_for_access(AccessLevel.STATIC_CONTENT)
+    server = capabilities_for_access(AccessLevel.FULL_WEBSERVER)
+    assert static < server
+    assert Capability.HEADERS in server
+    assert Capability.HTTPS in server
+
+
+def test_cookie_theft_matrix_section_5_5():
+    # Content-only attackers read only JS-visible, non-Secure cookies.
+    assert can_steal_cookie(AccessLevel.STATIC_CONTENT, http_only=False, secure=False)
+    assert not can_steal_cookie(AccessLevel.STATIC_CONTENT, http_only=True, secure=False)
+    assert not can_steal_cookie(AccessLevel.STATIC_CONTENT, http_only=False, secure=True)
+    # Full-webserver attackers read everything.
+    assert can_steal_cookie(AccessLevel.FULL_WEBSERVER, http_only=True, secure=True)
+    assert can_steal_cookie(AccessLevel.FULL_WEBSERVER, http_only=True, secure=False)

@@ -1,0 +1,72 @@
+"""Tests for the cloud service catalog and generated-domain parsing."""
+
+import pytest
+
+from repro.cloud.specs import (
+    DEFAULT_SERVICE_SPECS,
+    NamingPolicy,
+    cloud_suffixes,
+    parse_generated_fqdn,
+    spec_by_key,
+)
+
+
+def test_spec_lookup():
+    spec = spec_by_key("azure-web-app")
+    assert spec.provider == "Azure"
+    assert spec.naming == NamingPolicy.FREETEXT
+    with pytest.raises(KeyError):
+        spec_by_key("nope")
+
+
+def test_generated_fqdn_simple():
+    spec = spec_by_key("azure-web-app")
+    assert spec.generated_fqdn("example") == "example.azurewebsites.net"
+
+
+def test_generated_fqdn_with_region():
+    spec = spec_by_key("aws-s3-static")
+    fqdn = spec.generated_fqdn("bucket1", "eu-west-1")
+    assert fqdn == "bucket1.s3-website.eu-west-1.amazonaws.com"
+    with pytest.raises(ValueError):
+        spec.generated_fqdn("bucket1")  # region required
+    with pytest.raises(ValueError):
+        spec.generated_fqdn("bucket1", "mars-central-1")
+
+
+def test_generated_fqdn_without_template():
+    with pytest.raises(ValueError):
+        spec_by_key("aws-ec2-ip").generated_fqdn("x")
+
+
+def test_cloud_suffixes_cover_every_templated_service():
+    suffixes = cloud_suffixes()
+    assert "azurewebsites.net" in suffixes
+    assert "amazonaws.com" in suffixes
+    assert "herokuapp.com" in suffixes
+    assert len(suffixes) == len(set(suffixes))
+
+
+def test_parse_generated_fqdn_roundtrip():
+    for spec in DEFAULT_SERVICE_SPECS:
+        if not spec.suffix_template:
+            continue
+        region = spec.regions[0] if spec.regions else None
+        fqdn = spec.generated_fqdn("myres-01", region)
+        parsed = parse_generated_fqdn(fqdn)
+        assert parsed is not None, fqdn
+        assert parsed.spec.key == spec.key
+        assert parsed.name == "myres-01"
+        assert parsed.region == region
+
+
+def test_parse_generated_fqdn_rejects_unknown():
+    assert parse_generated_fqdn("foo.example.com") is None
+    assert parse_generated_fqdn("a.b.azurewebsites.net") is None
+
+
+def test_twelve_plus_services_across_paper_providers():
+    providers = {spec.provider for spec in DEFAULT_SERVICE_SPECS}
+    assert {"Azure", "AWS", "Heroku", "Pantheon", "Netlify",
+            "Google Cloud", "Cloudflare"} <= providers
+    assert len(DEFAULT_SERVICE_SPECS) >= 12

@@ -1,0 +1,52 @@
+"""Tests for the Table 4 derivation and the attacker-economics model."""
+
+from repro.cloud.specs import spec_by_key
+from repro.core.capabilities_analysis import capability_table, cookie_theft_matrix
+from repro.core.economics import cost_advantage, freetext_cost, ip_lottery_cost
+from repro.net.addresses import IPv4Pool
+
+
+def test_capability_table_matches_paper_rows():
+    rows = {row.service_key: row for row in capability_table()}
+    # Storage/CMS: content capabilities only.
+    assert not rows["aws-s3-static"].has_https
+    assert not rows["pantheon-site"].has_headers
+    # Web apps / CDN / VMs: full server capabilities.
+    for key in ("azure-web-app", "heroku-app", "aws-elastic-beanstalk",
+                "azure-cdn", "azure-cloudapp-legacy", "netlify-app"):
+        assert rows[key].has_https, key
+        assert rows[key].has_headers, key
+
+
+def test_capability_table_skips_dns_hosting():
+    keys = {row.service_key for row in capability_table()}
+    assert "azure-dns-zone" not in keys
+
+
+def test_cookie_theft_matrix_shape():
+    cells = cookie_theft_matrix()
+    assert len(cells) == 8
+    lookup = {(c.access, c.http_only, c.secure): c.stealable for c in cells}
+    assert lookup[("static-content", False, False)]
+    assert not lookup[("static-content", True, False)]
+    assert not lookup[("static-content", False, True)]
+    assert all(
+        lookup[("full-webserver", h, s)] for h in (False, True) for s in (False, True)
+    )
+
+
+def test_freetext_vs_lottery_costs():
+    pool = IPv4Pool(["52.0.0.0/16"])  # 65536 addresses
+    freetext = freetext_cost()
+    lottery = ip_lottery_cost(pool)
+    assert freetext.expected_attempts == 1.0
+    assert lottery.expected_attempts == 65536
+    assert cost_advantage(freetext, lottery) == 65536
+    assert lottery.expected_cost_usd > 100  # real money vs zero
+
+
+def test_warm_reuse_discounts_but_does_not_eliminate_lottery():
+    pool = IPv4Pool(["52.0.0.0/16"])
+    warm = ip_lottery_cost(pool, warm_fraction=0.9)
+    cold = ip_lottery_cost(pool)
+    assert 1 < warm.expected_attempts < cold.expected_attempts

@@ -1,0 +1,99 @@
+"""Tests for resolution-chain classification and the attack surface."""
+
+from datetime import datetime, timedelta
+
+from repro.core.chains import (
+    ChainStatus,
+    analyze_chain,
+    survey_attack_surface,
+)
+from repro.dns.records import RRType, ResourceRecord
+
+T0 = datetime(2020, 1, 6)
+T1 = datetime(2020, 5, 4)
+
+
+def _victim(internet, service, provider_name, label, fqdn, region=None):
+    provider = internet.catalog.provider(provider_name)
+    zone = internet.zones.get_zone("acme.com") or internet.zones.create_zone("acme.com")
+    resource = provider.provision(service, label, owner="org:acme", at=T0, region=region)
+    zone.add(ResourceRecord(fqdn, RRType.CNAME, resource.generated_fqdn), T0)
+    provider.add_custom_domain(resource, fqdn, T0)
+    resource.site.put_index("<html><body>live</body></html>")
+    return provider, resource
+
+
+def test_healthy_chain(internet):
+    _victim(internet, "azure-web-app", "Azure", "h1", "a.acme.com")
+    report = analyze_chain(internet, "a.acme.com", T0)
+    assert report.status == ChainStatus.HEALTHY
+    assert report.service_key == "azure-web-app"
+    assert not report.hijackable
+
+
+def test_dangling_cname_is_hijackable(internet):
+    provider, resource = _victim(internet, "azure-web-app", "Azure", "h2", "b.acme.com")
+    provider.release(resource, T1)
+    report = analyze_chain(internet, "b.acme.com", T1)
+    assert report.status == ChainStatus.DANGLING_CNAME
+    assert report.hijackable
+    assert report.resource_name == "h2"
+
+
+def test_dangling_wildcard_s3(internet):
+    provider, resource = _victim(
+        internet, "aws-s3-static", "AWS", "bucket-x", "files.acme.com",
+        region="us-east-1",
+    )
+    provider.release(resource, T1)
+    report = analyze_chain(internet, "files.acme.com", T1)
+    # S3's wildcard keeps the name resolving; the provider 404 is the tell.
+    assert report.status == ChainStatus.DANGLING_WILDCARD
+    assert report.hijackable
+
+
+def test_random_name_dangling_not_hijackable(internet):
+    provider, resource = _victim(internet, "gcp-appspot", "Google Cloud", "x", "g.acme.com")
+    provider.release(resource, T1)
+    report = analyze_chain(internet, "g.acme.com", T1)
+    assert report.status == ChainStatus.DANGLING_CNAME
+    assert not report.hijackable  # random identifier: not replicable
+
+
+def test_dangling_address(internet):
+    zone = internet.zones.create_zone("acme.com")
+    # Points into AWS space where nothing is bound.
+    zone.add(ResourceRecord("dark.acme.com", RRType.A, "52.1.2.3"), T0)
+    report = analyze_chain(internet, "dark.acme.com", T0)
+    assert report.status == ChainStatus.DANGLING_ADDRESS
+
+
+def test_broken_chain(internet):
+    internet.zones.create_zone("acme.com")
+    report = analyze_chain(internet, "ghost.acme.com", T0)
+    assert report.status == ChainStatus.BROKEN
+
+
+def test_attack_surface_survey(internet):
+    provider, live = _victim(internet, "azure-web-app", "Azure", "s1", "one.acme.com")
+    _, released = _victim(internet, "azure-web-app", "Azure", "s2", "two.acme.com")
+    provider.release(released, T1)
+    survey = survey_attack_surface(
+        internet, ["one.acme.com", "two.acme.com", "ghost.acme.com"], T1
+    )
+    assert survey.total == 3
+    assert survey.by_status[ChainStatus.HEALTHY] == 1
+    assert survey.by_status[ChainStatus.DANGLING_CNAME] == 1
+    assert survey.by_status[ChainStatus.BROKEN] == 1
+    assert survey.hijackable == 1
+    assert survey.hijackable_by_service["azure-web-app"] == 1
+    assert survey.dangling_total == 1
+
+
+def test_survey_on_finished_world(tiny_result):
+    fqdns = sorted(tiny_result.collector.monitored)[:300]
+    survey = survey_attack_surface(tiny_result.internet, fqdns, tiny_result.end)
+    assert survey.total == len(fqdns)
+    assert survey.by_status[ChainStatus.HEALTHY] > 0
+    # Hijackable leftovers are exactly what the scanner would grab next.
+    assert survey.hijackable >= 0

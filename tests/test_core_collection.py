@@ -1,0 +1,100 @@
+"""Tests for Algorithm 1 and the longitudinal collector."""
+
+from datetime import datetime, timedelta
+
+from repro.core.collection import FqdnCollector, collect_fqdns
+from repro.dns.records import RRType, ResourceRecord
+
+T0 = datetime(2020, 1, 6)
+
+
+def _seeded(internet):
+    """One cloud CNAME, one cloud A, one self-hosted A, one NXDOMAIN."""
+    azure = internet.catalog.provider("Azure")
+    aws = internet.catalog.provider("AWS")
+    zone = internet.zones.create_zone("acme.com")
+    web = azure.provision("azure-web-app", "acme-web", owner="org:acme", at=T0)
+    zone.add(ResourceRecord("web.acme.com", RRType.CNAME, web.generated_fqdn), T0)
+    vm = aws.provision("aws-ec2-ip", "acme-vm", owner="org:acme", at=T0)
+    zone.add(ResourceRecord("vm.acme.com", RRType.A, vm.ip), T0)
+    zone.add(ResourceRecord("self.acme.com", RRType.A, "198.18.0.50"), T0)
+    return ["web.acme.com", "vm.acme.com", "self.acme.com", "ghost.acme.com"]
+
+
+def test_algorithm1_selects_cloud_pointing_only(internet):
+    candidates = _seeded(internet)
+    selected = collect_fqdns(
+        candidates, internet.catalog.suffixes, internet.catalog.cloud_ips,
+        internet.resolver, at=T0,
+    )
+    assert selected == {"web.acme.com", "vm.acme.com"}
+
+
+def test_algorithm1_matches_anywhere_in_chain(internet):
+    azure = internet.catalog.provider("Azure")
+    zone = internet.zones.create_zone("acme.com")
+    web = azure.provision("azure-web-app", "chained", owner="org:acme", at=T0)
+    zone.add(ResourceRecord("alias.acme.com", RRType.CNAME, "indirect.acme.com"), T0)
+    zone.add(ResourceRecord("indirect.acme.com", RRType.CNAME, web.generated_fqdn), T0)
+    selected = collect_fqdns(
+        ["alias.acme.com"], internet.catalog.suffixes, internet.catalog.cloud_ips,
+        internet.resolver, at=T0,
+    )
+    assert selected == {"alias.acme.com"}
+
+
+def test_dangling_record_still_admitted(internet):
+    """A CNAME to a released resource has a cloud suffix in its chain —
+    dangling names must be collected, they're the whole point."""
+    azure = internet.catalog.provider("Azure")
+    zone = internet.zones.create_zone("acme.com")
+    web = azure.provision("azure-web-app", "gone-soon", owner="org:acme", at=T0)
+    zone.add(ResourceRecord("d.acme.com", RRType.CNAME, web.generated_fqdn), T0)
+    azure.release(web, T0 + timedelta(days=1))
+    selected = collect_fqdns(
+        ["d.acme.com"], internet.catalog.suffixes, internet.catalog.cloud_ips,
+        internet.resolver, at=T0 + timedelta(days=2),
+    )
+    assert selected == {"d.acme.com"}
+
+
+def test_collector_growth_and_monthly_stats(internet):
+    candidates = _seeded(internet)
+    collector = FqdnCollector(
+        internet.resolver, internet.catalog.suffixes, internet.catalog.cloud_ips
+    )
+    admitted = collector.ingest(candidates, T0)
+    assert admitted == 2
+    assert collector.monitored_count() == 2
+    # Re-ingesting the same names is a no-op.
+    assert collector.ingest(candidates, T0 + timedelta(weeks=4)) == 0
+    growth = collector.monthly_growth()
+    assert growth[0][1] == 2
+
+
+def test_collector_reconsider_rejected(internet):
+    candidates = _seeded(internet)
+    collector = FqdnCollector(
+        internet.resolver, internet.catalog.suffixes, internet.catalog.cloud_ips
+    )
+    collector.ingest(candidates, T0)
+    # self.acme.com moves into the cloud afterwards.
+    azure = internet.catalog.provider("Azure")
+    moved = azure.provision("azure-web-app", "acme-moved", owner="org:acme", at=T0)
+    zone = internet.zones.get_zone("acme.com")
+    zone.remove_all("self.acme.com", RRType.A, T0)
+    zone.add(ResourceRecord("self.acme.com", RRType.CNAME, moved.generated_fqdn), T0)
+    assert collector.reconsider(T0 + timedelta(weeks=1)) == 1
+    assert "self.acme.com" in collector.monitored
+
+
+def test_admitted_names_never_dropped(internet):
+    """Monitored names persist even after their DNS breaks entirely."""
+    candidates = _seeded(internet)
+    collector = FqdnCollector(
+        internet.resolver, internet.catalog.suffixes, internet.catalog.cloud_ips
+    )
+    collector.ingest(candidates, T0)
+    internet.zones.get_zone("acme.com").remove_all("web.acme.com", RRType.CNAME, T0)
+    collector.ingest(["new.acme.com"], T0 + timedelta(weeks=1))
+    assert "web.acme.com" in collector.monitored

@@ -1,0 +1,131 @@
+"""Tests for the abuse detector's weekly driver."""
+
+from datetime import datetime, timedelta
+
+from repro.core.changes import detect_changes
+from repro.core.detection import AbuseDetector
+from repro.core.monitoring import SnapshotStore, SnapshotFeatures
+
+T0 = datetime(2020, 3, 2)
+WEEK = timedelta(weeks=1)
+
+
+def _page(fqdn, at, keywords, reachable=True, sitemap_count=-1, urls=()):
+    return SnapshotFeatures(
+        fqdn=fqdn, at=at,
+        dns_status="NOERROR" if reachable else "NXDOMAIN",
+        cname_chain=("x.azurewebsites.net",),
+        addresses=("40.0.0.1",) if reachable else (),
+        fetch_status="ok" if reachable else "dns-nxdomain",
+        http_status=200 if reachable else 0,
+        html_hash=f"h-{fqdn}-{sorted(keywords)}" if reachable else "",
+        html_size=100, keywords=frozenset(keywords),
+        external_urls=tuple(urls),
+        sitemap_count=sitemap_count, sitemap_size=max(-1, sitemap_count * 80),
+    )
+
+
+def _detector():
+    store = SnapshotStore()
+    from repro.whois.registry import DomainRegistry
+
+    whois = DomainRegistry()
+    for sld, registrar in (("foo.com", "GoDaddy"), ("bar.com", "Tucows"),
+                           ("baz.com", "Gandi")):
+        whois.register(sld, owner=sld.split(".")[0].title(), registrar=registrar,
+                       created_at=T0 - timedelta(days=3000))
+    return store, AbuseDetector(store, whois=whois)
+
+
+def _feed(store, detector, pages, at):
+    changes = []
+    for page in pages:
+        is_new, previous = store.record(page)
+        if is_new:
+            changes.append(detect_changes(previous, page))
+    return detector.process_week(changes, at)
+
+
+def test_benign_first_sightings_build_corpus():
+    store, detector = _detector()
+    benign = [
+        _page("a.foo.com", T0, {"products", "careers"}),
+        _page("b.bar.com", T0, {"support", "contact"}),
+    ]
+    _feed(store, detector, benign, T0)
+    assert len(detector.benign) == 2
+    assert len(detector.dataset) == 0
+
+
+def test_cochanging_abuse_is_detected():
+    store, detector = _detector()
+    _feed(store, detector, [
+        _page("a.foo.com", T0, {"products"}),
+        _page("b.bar.com", T0, {"support"}),
+    ], T0)
+    abuse_keywords = {"slot", "judi", "gacor", "daftar"}
+    flagged = _feed(store, detector, [
+        _page("a.foo.com", T0 + WEEK, abuse_keywords, sitemap_count=800,
+              urls=("https://mega-gacor.bet/p?ref=1",)),
+        _page("b.bar.com", T0 + WEEK, abuse_keywords | {"bola"}, sitemap_count=600,
+              urls=("https://mega-gacor.bet/p?ref=1",)),
+    ], T0 + WEEK)
+    assert set(flagged) == {"a.foo.com", "b.bar.com"}
+    assert len(detector.signatures) >= 1
+    record = detector.dataset.get("a.foo.com")
+    assert record.currently_abused
+    assert record.first_detected == T0 + WEEK
+
+
+def test_backlog_clusters_across_weeks():
+    """The same change landing on different assets weeks apart still
+    forms a cluster (the backlog window)."""
+    store, detector = _detector()
+    abuse = {"slot", "judi", "gacor", "daftar"}
+    _feed(store, detector, [_page("a.foo.com", T0, abuse, sitemap_count=500)], T0)
+    assert len(detector.dataset) == 0  # lone page: no signature yet
+    flagged = _feed(
+        store, detector,
+        [_page("b.bar.com", T0 + 2 * WEEK, abuse | {"pulsa"}, sitemap_count=700)],
+        T0 + 2 * WEEK,
+    )
+    assert set(flagged) == {"a.foo.com", "b.bar.com"}
+    # Retrospective scan back-dated the first victim.
+    assert detector.dataset.get("a.foo.com").first_detected == T0
+
+
+def test_episode_closes_when_abuse_disappears():
+    store, detector = _detector()
+    abuse = {"slot", "judi", "gacor"}
+    _feed(store, detector, [
+        _page("a.foo.com", T0, abuse, sitemap_count=500),
+        _page("b.bar.com", T0, abuse, sitemap_count=500),
+    ], T0)
+    record = detector.dataset.get("a.foo.com")
+    assert record.currently_abused
+    # Owner fixes the record: the name goes dark.
+    _feed(store, detector, [_page("a.foo.com", T0 + WEEK, set(), reachable=False)], T0 + WEEK)
+    assert not detector.dataset.get("a.foo.com").currently_abused
+    assert detector.dataset.get("b.bar.com").currently_abused
+
+
+def test_indicator_combinations_recorded():
+    store, detector = _detector()
+    abuse = {"slot", "judi", "gacor"}
+    _feed(store, detector, [
+        _page("a.foo.com", T0, abuse, sitemap_count=900),
+        _page("b.bar.com", T0, abuse, sitemap_count=800),
+    ], T0)
+    record = detector.dataset.get("a.foo.com")
+    simplest = record.simplest_indicators()
+    assert "keywords" in simplest or "sitemap" in simplest
+
+
+def test_monthly_cumulative_tracked():
+    store, detector = _detector()
+    abuse = {"slot", "judi", "gacor"}
+    _feed(store, detector, [
+        _page("a.foo.com", T0, abuse, sitemap_count=500),
+        _page("b.bar.com", T0, abuse, sitemap_count=500),
+    ], T0)
+    assert detector.dataset.monthly_cumulative.get("2020-03") == 2

@@ -1,0 +1,73 @@
+"""Tests for the Section 2 liveness comparison."""
+
+from datetime import datetime
+
+from repro.core.liveness import compare_liveness
+from repro.dns.records import RRType, ResourceRecord
+from repro.net.network import Network
+from repro.dns.resolver import Resolver
+from repro.dns.zone import ZoneRegistry
+from repro.web.client import HttpClient
+from repro.web.server import VirtualHostServer
+from repro.web.site import StaticSite
+
+T0 = datetime(2020, 1, 6)
+
+
+def _world():
+    zones = ZoneRegistry()
+    zone = zones.create_zone("example.com")
+    network = Network()
+    resolver = Resolver(zones)
+    client = HttpClient(resolver, network)
+    return zones, zone, network, resolver, client
+
+
+def test_icmp_underestimates_tcp_overestimates():
+    zones, zone, network, resolver, client = _world()
+    # Edge 1 answers ping; edge 2 drops ICMP (both serve their host).
+    edge1 = VirtualHostServer("Azure", icmp=True)
+    edge2 = VirtualHostServer("Azure", icmp=False)
+    network.bind("40.0.0.1", edge1)
+    network.bind("40.0.0.2", edge2)
+    for index, (host, edge, ip) in enumerate(
+        (("a.example.com", edge1, "40.0.0.1"), ("b.example.com", edge2, "40.0.0.2"))
+    ):
+        site = StaticSite()
+        site.put_index("live")
+        edge.route(host, site)
+        zone.add(ResourceRecord(host, RRType.A, ip), T0)
+    # c.example.com: record resolves to edge1 but the resource is gone —
+    # TCP answers, the FQDN does not.
+    zone.add(ResourceRecord("c.example.com", RRType.A, "40.0.0.1"), T0)
+
+    report = compare_liveness(
+        ["a.example.com", "b.example.com", "c.example.com"],
+        resolver, network, client, at=T0,
+    )
+    assert report.total == 3
+    assert report.dns_resolved == 3
+    assert report.tcp_responsive == 3  # the edges always accept TCP
+    assert report.icmp_responsive == 2  # one edge drops ping
+    assert report.http_responsive == 2  # the released resource 404s
+
+
+def test_dead_names_count_as_unresponsive_everywhere():
+    zones, zone, network, resolver, client = _world()
+    report = compare_liveness(["ghost.example.com"], resolver, network, client, at=T0)
+    assert report.dns_resolved == 0
+    assert report.icmp_rate == report.tcp_rate == report.http_rate == 0.0
+
+
+def test_rates_and_rows():
+    zones, zone, network, resolver, client = _world()
+    edge = VirtualHostServer("AWS")
+    network.bind("52.0.0.1", edge)
+    site = StaticSite()
+    site.put_index("x")
+    edge.route("a.example.com", site)
+    zone.add(ResourceRecord("a.example.com", RRType.A, "52.0.0.1"), T0)
+    report = compare_liveness(["a.example.com"], resolver, network, client, at=T0)
+    rows = dict((method, rate) for method, _, rate in report.rows())
+    assert rows["icmp"] == 1.0
+    assert rows["http-fqdn"] == 1.0

@@ -1,0 +1,142 @@
+"""Unit tests for analysis modules, on synthetic inputs.
+
+The integration tests cover these against a finished world; these
+exercise the arithmetic and edge cases directly.
+"""
+
+from datetime import datetime, timedelta
+
+from repro.content.vocab import Topic
+from repro.core.abuse_volume import analyze_volume
+from repro.core.cert_analysis import analyze_certificates
+from repro.core.detection import AbuseDataset, AbuseEpisode, AbuseRecord
+from repro.core.duration import (
+    DurationReport,
+    analyze_durations,
+    concurrent_hijacks,
+)
+from repro.core.growth import GrowthPoint, growth_factor
+from repro.pki.certificate import Certificate
+from repro.pki.ct_log import CTLog
+
+T0 = datetime(2020, 1, 6)
+
+
+def _dataset(records):
+    dataset = AbuseDataset()
+    for record in records:
+        dataset._records[record.fqdn] = record
+    return dataset
+
+
+def _record(fqdn, start_day, end_day=None, sitemap=1000, topics=(Topic.GAMBLING,)):
+    record = AbuseRecord(fqdn=fqdn, first_detected=T0 + timedelta(days=start_day))
+    record.episodes.append(
+        AbuseEpisode(
+            started_at=T0 + timedelta(days=start_day),
+            last_matched=T0 + timedelta(days=end_day or start_day + 7),
+            ended_at=T0 + timedelta(days=end_day) if end_day else None,
+        )
+    )
+    record.max_sitemap_count = sitemap
+    record.topics = set(topics)
+    return record
+
+
+def test_duration_buckets():
+    dataset = _dataset([
+        _record("a.x.com", 0, 10),    # short
+        _record("b.x.com", 0, 40),    # medium
+        _record("c.x.com", 0, 100),   # long
+        _record("d.x.com", 0, 400),   # beyond a year
+    ])
+    report = analyze_durations(dataset, T0 + timedelta(days=500))
+    assert report.short_lived == 1
+    assert report.medium == 1
+    assert report.long_lived == 2
+    assert report.beyond_year == 1
+    assert report.total == 4
+    assert sum(c for _, c in report.histogram()) == 4
+
+
+def test_open_episode_right_censored():
+    dataset = _dataset([_record("a.x.com", 0, None)])
+    now = T0 + timedelta(days=30)
+    report = analyze_durations(dataset, now)
+    assert report.durations_days[0] == 30.0
+
+
+def test_concurrent_hijacks_counts_overlap():
+    dataset = _dataset([
+        _record("a.x.com", 0, 50),
+        _record("b.x.com", 20, 80),
+        _record("c.x.com", 60, None),
+    ])
+    instants = [T0 + timedelta(days=d) for d in (10, 30, 70, 90)]
+    counts = dict(concurrent_hijacks(dataset, instants))
+    assert counts[instants[0]] == 1  # only a
+    assert counts[instants[1]] == 2  # a + b
+    assert counts[instants[2]] == 2  # b + c
+    assert counts[instants[3]] == 1  # only c (open)
+
+
+def test_volume_statistics():
+    dataset = _dataset([
+        _record("a.x.com", 0, sitemap=100),
+        _record("b.x.com", 0, sitemap=900),
+        _record("c.x.com", 0, sitemap=-1),  # no sitemap observed
+    ])
+    report = analyze_volume(dataset)
+    assert report.sites_with_sitemaps == 2
+    assert report.total_files == 1000
+    assert report.min_files == 100 and report.max_files == 900
+    assert report.average_files == 500
+    assert report.estimated_total_kb == 1000 * 52.4
+    bins = dict(report.histogram(bin_size=500))
+    assert bins["0-500"] == 1 and bins["500-1000"] == 1
+
+
+def test_volume_empty_dataset():
+    report = analyze_volume(_dataset([]))
+    assert report.total_files == 0
+    assert report.histogram() == []
+
+
+def test_growth_factor_edge_cases():
+    assert growth_factor([]) == 1.0
+    assert growth_factor([GrowthPoint("2020-01", 100, 0)]) == 1.0
+    points = [GrowthPoint("2020-01", 100, 0), GrowthPoint("2020-06", 250, 5)]
+    assert growth_factor(points) == 2.5
+
+
+def test_certificate_analysis_synthetic():
+    log = CTLog()
+    hijacked = _dataset([_record("shop.victim.com", 0, 50)])
+    single = Certificate(serial=1, sans=("shop.victim.com",), issuer="Let's Encrypt",
+                         not_before=T0, not_after=T0 + timedelta(days=90))
+    wildcard = Certificate(serial=2, sans=("*.victim.com", "victim.com"),
+                           issuer="DigiCert",
+                           not_before=T0, not_after=T0 + timedelta(days=365))
+    unrelated = Certificate(serial=3, sans=("other.example",), issuer="ZeroSSL",
+                            not_before=T0, not_after=T0 + timedelta(days=90))
+    log.submit(single, T0 + timedelta(days=3))
+    log.submit(wildcard, T0 + timedelta(days=40))
+    log.submit(unrelated, T0)
+    report = analyze_certificates(hijacked, log)
+    assert report.single_san_total == 1
+    assert report.multi_san_total == 1  # the wildcard covers the hijack
+    assert report.free_ca_share == 1.0
+    assert report.abused_with_certificates == 1
+    months = {month: (s, m) for month, s, m in report.monthly}
+    assert months["2020-01"] == (1, 0)
+    assert months["2020-02"] == (0, 1)
+
+
+def test_simplest_indicators_prefers_smallest():
+    record = _record("a.x.com", 0, 10)
+    record.indicator_combinations = {
+        frozenset({"keywords", "sitemap"}),
+        frozenset({"keywords"}),
+        frozenset({"keywords", "infrastructure", "sitemap"}),
+    }
+    assert record.simplest_indicators() == frozenset({"keywords"})

@@ -1,0 +1,124 @@
+"""Tests for the weekly monitor and snapshot store."""
+
+from datetime import datetime, timedelta
+
+from repro.core.monitoring import SnapshotStore, WeeklyMonitor
+from repro.dns.records import RRType, ResourceRecord
+from repro.web.sitemap import Sitemap
+
+T0 = datetime(2020, 1, 6)
+
+
+def _victim(internet, name="shop"):
+    azure = internet.catalog.provider("Azure")
+    zone = internet.zones.get_zone("acme.com") or internet.zones.create_zone("acme.com")
+    resource = azure.provision("azure-web-app", f"acme-{name}", owner="org:acme", at=T0)
+    fqdn = f"{name}.acme.com"
+    zone.add(ResourceRecord(fqdn, RRType.CNAME, resource.generated_fqdn), T0)
+    azure.add_custom_domain(resource, fqdn, T0)
+    resource.site.put_index("<html><head><title>Portal</title></head><body><p>hi</p></body></html>")
+    return azure, resource, fqdn
+
+
+def test_sample_captures_dns_and_html_features(internet):
+    _, resource, fqdn = _victim(internet)
+    monitor = WeeklyMonitor(internet.client)
+    features = monitor.sample(fqdn, T0)
+    assert features.reachable
+    assert features.title == "Portal"
+    assert resource.generated_fqdn in features.cname_chain
+    assert features.html_size > 0
+    assert features.dns_status == "NOERROR"
+
+
+def test_sample_of_dangling_name(internet):
+    azure, resource, fqdn = _victim(internet)
+    azure.release(resource, T0 + timedelta(days=1))
+    monitor = WeeklyMonitor(internet.client)
+    features = monitor.sample(fqdn, T0 + timedelta(days=2))
+    assert not features.reachable
+    assert features.dns_status == "NXDOMAIN"
+    assert features.cname_chain  # the dangling chain is preserved
+
+
+def test_store_dedups_identical_states(internet):
+    _, _, fqdn = _victim(internet)
+    monitor = WeeklyMonitor(internet.client)
+    at = T0
+    for week in range(5):
+        changed = monitor.sweep([fqdn], at)
+        at += timedelta(weeks=1)
+        if week == 0:
+            assert len(changed) == 1
+        else:
+            assert changed == []
+    history = monitor.store.history(fqdn)
+    assert len(history) == 1
+    assert history[0].observations == 5
+    assert history[0].first_seen == T0
+
+
+def test_content_change_creates_new_state(internet):
+    _, resource, fqdn = _victim(internet)
+    monitor = WeeklyMonitor(internet.client)
+    monitor.sweep([fqdn], T0)
+    resource.site.put_index("<html><head><title>slot gacor</title></head><body><p>judi</p></body></html>")
+    changed = monitor.sweep([fqdn], T0 + timedelta(weeks=1))
+    assert len(changed) == 1
+    current, previous = changed[0]
+    assert previous is not None
+    assert previous.title == "Portal"
+    assert current.title == "slot gacor"
+    assert monitor.store.state_count() == 2
+
+
+def test_sitemap_fetched_on_change_only(internet):
+    _, resource, fqdn = _victim(internet)
+    sitemap = Sitemap()
+    for index in range(20):
+        sitemap.add(f"http://{fqdn}/p{index}")
+    resource.site.put_sitemap(sitemap)
+    monitor = WeeklyMonitor(internet.client)
+    monitor.sweep([fqdn], T0)
+    assert monitor.sitemap_fetches == 1
+    monitor.sweep([fqdn], T0 + timedelta(weeks=1))  # unchanged
+    assert monitor.sitemap_fetches == 1
+    features = monitor.store.latest(fqdn)
+    assert features.sitemap_count == 20
+    assert features.sitemap_sample
+
+
+def test_ethics_bound_two_requests_per_fqdn(internet):
+    """At most two HTTP requests per FQDN per weekly sample."""
+    _, resource, fqdn = _victim(internet)
+    calls = []
+    original = internet.client.fetch
+
+    def counting_fetch(*args, **kwargs):
+        calls.append(kwargs.get("path") or (args[1] if len(args) > 1 else "/"))
+        return original(*args, **kwargs)
+
+    internet.client.fetch = counting_fetch
+    monitor = WeeklyMonitor(internet.client)
+    monitor.sample(fqdn, T0)
+    assert len(calls) <= 2
+
+
+def test_meta_and_script_features(internet):
+    _, resource, fqdn = _victim(internet)
+    resource.site.put_index(
+        '<html lang="id"><head><title>x</title>'
+        '<meta name="keywords" content="slot, judi">'
+        '<meta name="generator" content="WordPress 5.8">'
+        '<script src="http://141.98.1.1/js/popunder.js"></script></head>'
+        '<body><a href="/download/app.apk">app</a>'
+        '<a href="https://wa.me/+628123">wa</a></body></html>'
+    )
+    features = WeeklyMonitor(internet.client).sample(fqdn, T0)
+    assert features.has_meta_keywords
+    assert features.meta_keywords == ("slot", "judi")
+    assert features.generator.startswith("WordPress")
+    assert features.lang == "id"
+    assert "http://141.98.1.1/js/popunder.js" in features.script_srcs
+    assert "https://wa.me/+628123" in features.external_urls
+    assert features.download_paths == ("/download/app.apk",)

@@ -1,0 +1,61 @@
+"""Tests for incident-timeline reconstruction."""
+
+from datetime import datetime
+
+from repro.core.timeline import build_all_timelines, build_timeline
+
+
+def test_timelines_cover_every_detection(tiny_result):
+    timelines = build_all_timelines(tiny_result)
+    assert len(timelines) == len(tiny_result.dataset)
+
+
+def test_timeline_stage_ordering(tiny_result):
+    record = tiny_result.dataset.records()[0]
+    timeline = build_timeline(tiny_result, record.fqdn)
+    stages = timeline.stages
+    assert "taken-over" in stages
+    assert "detected" in stages
+    # Chronology is sorted.
+    times = [entry.at for entry in timeline.entries]
+    assert times == sorted(times)
+    # Causality: the record dangled before it was taken over, and the
+    # takeover happened no later than detection.
+    dangled = timeline.stage_at("record-dangled")
+    taken = timeline.stage_at("taken-over")
+    detected = timeline.stage_at("detected")
+    if dangled is not None:
+        assert dangled <= taken
+    assert taken <= detected or (detected - taken).days <= 0
+
+
+def test_detection_gap_is_small(tiny_result):
+    gaps = []
+    for timeline in build_all_timelines(tiny_result):
+        gap = timeline.gap_days("taken-over", "detected")
+        if gap is not None:
+            gaps.append(gap)
+    assert gaps
+    assert sorted(gaps)[len(gaps) // 2] <= 28  # weekly sampling + clustering
+
+
+def test_remediated_incidents_end_after_takeover(tiny_result):
+    for timeline in build_all_timelines(tiny_result):
+        remediated = timeline.stage_at("remediated")
+        taken = timeline.stage_at("taken-over")
+        if remediated is not None and taken is not None:
+            assert remediated >= taken
+
+
+def test_render_contains_stages(tiny_result):
+    record = tiny_result.dataset.records()[0]
+    text = build_timeline(tiny_result, record.fqdn).render()
+    assert record.fqdn in text
+    assert "taken-over" in text
+
+
+def test_unknown_fqdn_gives_empty_timeline(tiny_result):
+    timeline = build_timeline(tiny_result, "nothing.example.com")
+    assert timeline.entries == []
+    assert timeline.stage_at("detected") is None
+    assert timeline.gap_days("taken-over", "detected") is None

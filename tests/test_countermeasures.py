@@ -1,0 +1,43 @@
+"""Ablations of the Section 7 countermeasures.
+
+The paper recommends (a) not exposing user-chosen resource names /
+randomizing them, and (b) quarantining released names.  With the
+simulator both can be measured: each should collapse the hijack count.
+"""
+
+from datetime import timedelta
+
+import pytest
+
+from repro.core.scenario import ScenarioConfig, run_scenario
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_scenario(ScenarioConfig.tiny(seed=9))
+
+
+def test_randomized_names_eliminate_takeovers(baseline):
+    config = ScenarioConfig.tiny(seed=9)
+    config.randomize_names = True
+    hardened = run_scenario(config)
+    assert len(baseline.ground_truth) > 0
+    assert len(hardened.ground_truth) == 0
+
+
+def test_reregistration_cooldown_reduces_takeovers(baseline):
+    config = ScenarioConfig.tiny(seed=9)
+    config.reregistration_cooldown = timedelta(days=3650)
+    quarantined = run_scenario(config)
+    assert len(quarantined.ground_truth) == 0
+
+
+def test_short_cooldown_only_delays(baseline):
+    config = ScenarioConfig.tiny(seed=9)
+    config.reregistration_cooldown = timedelta(days=14)
+    delayed = run_scenario(config)
+    # Some takeovers still happen — a short quarantine is not a fix.
+    # (Exact counts shift with the RNG stream divergence; the point is
+    # that exposure is not eliminated, unlike the long quarantine.)
+    assert len(delayed.ground_truth) > 0
+    assert len(delayed.ground_truth) <= int(len(baseline.ground_truth) * 1.4)

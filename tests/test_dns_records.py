@@ -1,0 +1,44 @@
+"""Tests for resource records and CAA rdata handling."""
+
+import pytest
+
+from repro.dns.records import RRType, ResourceRecord, caa_rdata, parse_caa_rdata
+
+
+def test_record_normalizes_name():
+    record = ResourceRecord(name="APP.Example.com.", rtype=RRType.A, rdata="1.2.3.4")
+    assert record.name == "app.example.com"
+    assert record.rdata == "1.2.3.4"
+
+
+def test_name_valued_rdata_is_normalized():
+    record = ResourceRecord(name="a.example.com", rtype=RRType.CNAME, rdata="Foo.AzureWebsites.NET")
+    assert record.rdata == "foo.azurewebsites.net"
+
+
+def test_key_identity_and_str():
+    record = ResourceRecord(name="a.example.com", rtype=RRType.A, rdata="1.1.1.1")
+    assert record.key == "a.example.com A 1.1.1.1"
+    assert str(record) == record.key
+
+
+def test_records_are_hashable_value_objects():
+    a = ResourceRecord(name="x.com", rtype=RRType.TXT, rdata="hello")
+    b = ResourceRecord(name="x.com", rtype=RRType.TXT, rdata="hello")
+    assert a == b
+    assert len({a, b}) == 1
+
+
+def test_caa_rdata_roundtrip():
+    rdata = caa_rdata("issue", "letsencrypt.org")
+    assert parse_caa_rdata(rdata) == (0, "issue", "letsencrypt.org")
+
+
+def test_caa_rdata_rejects_unknown_tag():
+    with pytest.raises(ValueError):
+        caa_rdata("frobnicate", "x")
+
+
+def test_parse_caa_rdata_garbage_returns_none():
+    assert parse_caa_rdata("not valid") is None
+    assert parse_caa_rdata("x issue y") is None

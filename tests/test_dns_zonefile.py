@@ -1,0 +1,60 @@
+"""Tests for zone master-file rendering/parsing."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.dns.records import RRType, ResourceRecord, caa_rdata
+from repro.dns.zone import Zone
+from repro.dns.zonefile import ZoneFileError, parse_zone_text, render_zone
+
+T0 = datetime(2020, 1, 6)
+
+SAMPLE = """\
+$ORIGIN example.com.
+; a comment line
+example.com.      A     198.18.0.10
+www.example.com.  CNAME shop.azurewebsites.net.
+example.com.      CAA   0 issue "letsencrypt.org"
+"""
+
+
+def test_parse_sample():
+    zone = parse_zone_text(SAMPLE, at=T0)
+    assert zone.apex == "example.com"
+    assert zone.lookup("example.com", RRType.A)[0].rdata == "198.18.0.10"
+    cname = zone.lookup("www.example.com", RRType.CNAME)[0]
+    assert cname.rdata == "shop.azurewebsites.net"
+    assert zone.lookup("example.com", RRType.CAA)
+
+
+def test_roundtrip():
+    zone = Zone("example.com")
+    zone.add(ResourceRecord("example.com", RRType.A, "198.18.0.10"), T0)
+    zone.add(ResourceRecord("a.example.com", RRType.CNAME, "x.herokuapp.com"), T0)
+    zone.add(ResourceRecord("example.com", RRType.CAA, caa_rdata("issue", "digicert.com")), T0)
+    zone.add(ResourceRecord("example.com", RRType.TXT, "v=spf1 -all"), T0)
+    restored = parse_zone_text(render_zone(zone), at=T0)
+    original = {r.key for r in zone.all_records()}
+    copied = {r.key for r in restored.all_records()}
+    assert original == copied
+
+
+def test_missing_origin_rejected():
+    with pytest.raises(ZoneFileError):
+        parse_zone_text("example.com. A 1.2.3.4")
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ZoneFileError):
+        parse_zone_text("$ORIGIN example.com.\nexample.com. BOGUS x")
+
+
+def test_malformed_line_rejected():
+    with pytest.raises(ZoneFileError):
+        parse_zone_text("$ORIGIN example.com.\njusttwo fields")
+
+
+def test_record_outside_origin_rejected():
+    with pytest.raises(ValueError):
+        parse_zone_text("$ORIGIN example.com.\nother.net. A 1.2.3.4")

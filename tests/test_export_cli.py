@@ -1,0 +1,84 @@
+"""Tests for JSON export/import and the CLI."""
+
+import io
+import json
+
+from repro.cli import main
+from repro.core.export import (
+    dataset_from_json,
+    dataset_to_json,
+    ground_truth_to_json,
+    record_from_dict,
+    record_to_dict,
+)
+
+
+def test_dataset_json_roundtrip(tiny_result):
+    text = dataset_to_json(tiny_result.dataset)
+    restored = dataset_from_json(text)
+    assert restored.abused_fqdns() == tiny_result.dataset.abused_fqdns()
+    original = tiny_result.dataset.records()[0]
+    copy = restored.get(original.fqdn)
+    assert copy.first_detected == original.first_detected
+    assert copy.topics == original.topics
+    assert copy.signature_ids == original.signature_ids
+    assert copy.indicator_combinations == original.indicator_combinations
+    assert len(copy.episodes) == len(original.episodes)
+    assert copy.episodes[0].started_at == original.episodes[0].started_at
+    assert restored.monthly_cumulative == tiny_result.dataset.monthly_cumulative
+
+
+def test_record_dict_roundtrip(tiny_result):
+    record = tiny_result.dataset.records()[0]
+    restored = record_from_dict(record_to_dict(record))
+    assert restored.fqdn == record.fqdn
+    assert restored.keywords == record.keywords
+    assert restored.max_sitemap_count == record.max_sitemap_count
+
+
+def test_ground_truth_export(tiny_result):
+    payload = json.loads(ground_truth_to_json(tiny_result.ground_truth))
+    assert len(payload["hijacks"]) == len(tiny_result.ground_truth)
+    row = payload["hijacks"][0]
+    assert set(row) == {"fqdn", "attacker_group", "service", "provider",
+                        "taken_over_at", "remediated_at"}
+
+
+def test_cli_run(tmp_path):
+    out = io.StringIO()
+    export_path = tmp_path / "dataset.json"
+    code = main(
+        ["run", "--scale", "tiny", "--seed", "3", "--export", str(export_path)],
+        out=out,
+    )
+    assert code == 0
+    text = out.getvalue()
+    assert "Scenario summary" in text
+    assert "abused FQDNs detected" in text
+    restored = dataset_from_json(export_path.read_text(encoding="utf-8"))
+    assert len(restored) > 0
+
+
+def test_cli_report():
+    out = io.StringIO()
+    assert main(["report", "--scale", "tiny", "--seed", "3"], out=out) == 0
+    text = out.getvalue()
+    assert "Figure 2" in text
+    assert "Figure 3" in text
+
+
+def test_cli_audit():
+    out = io.StringIO()
+    assert main(["audit", "--scale", "tiny", "--seed", "3"], out=out) == 0
+    assert "Attack surface" in out.getvalue()
+
+
+def test_cli_countermeasure_flag():
+    out = io.StringIO()
+    assert main(
+        ["run", "--scale", "tiny", "--seed", "3", "--randomize-names"], out=out
+    ) == 0
+    takeover_line = next(
+        line for line in out.getvalue().splitlines() if "actual takeovers" in line
+    )
+    assert takeover_line.split()[-1] == "0"

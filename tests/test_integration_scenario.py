@@ -1,0 +1,67 @@
+"""End-to-end integration tests over a finished world."""
+
+from repro.core.scenario import ScenarioConfig, run_scenario
+from repro.core import scoring
+from repro.dns.resolver import ResolutionStatus
+
+
+def test_scenario_is_deterministic():
+    a = run_scenario(ScenarioConfig.tiny(seed=5))
+    b = run_scenario(ScenarioConfig.tiny(seed=5))
+    assert a.dataset.abused_fqdns() == b.dataset.abused_fqdns()
+    assert a.ground_truth.hijacked_fqdns() == b.ground_truth.hijacked_fqdns()
+    assert a.collector.monitored_count() == b.collector.monitored_count()
+
+
+def test_different_seeds_differ():
+    a = run_scenario(ScenarioConfig.tiny(seed=5))
+    b = run_scenario(ScenarioConfig.tiny(seed=6))
+    assert a.dataset.abused_fqdns() != b.dataset.abused_fqdns()
+
+
+def test_monitored_set_grows(tiny_result):
+    growth = tiny_result.collector.monthly_growth()
+    assert growth[-1][1] > growth[0][1]
+
+
+def test_all_detections_correspond_to_monitored_names(tiny_result):
+    monitored = tiny_result.collector.monitored
+    for fqdn in tiny_result.dataset.abused_fqdns():
+        assert fqdn in monitored
+
+
+def test_hijacked_domains_serve_attacker_content_while_active(tiny_result):
+    internet = tiny_result.internet
+    active = [r for r in tiny_result.ground_truth.active_records()]
+    for record in active[:5]:
+        outcome = internet.client.fetch(record.fqdn, at=tiny_result.end)
+        assert outcome.ok
+        assert record.resource.owner.startswith("attacker:")
+
+
+def test_remediated_domains_are_dark(tiny_result):
+    internet = tiny_result.internet
+    remediated = [
+        r for r in tiny_result.ground_truth.all_records() if not r.active
+    ]
+    for record in remediated[:5]:
+        result = internet.resolver.resolve_a_with_chain(record.fqdn)
+        assert result.status in (ResolutionStatus.NXDOMAIN, ResolutionStatus.NODATA)
+
+
+def test_detection_latency_reasonable(tiny_result):
+    score = scoring.score_detector(tiny_result.dataset, tiny_result.ground_truth)
+    assert score.median_latency_days is not None
+    # Weekly sampling + clustering should flag within a few weeks.
+    assert score.median_latency_days <= 28
+
+
+def test_weeks_run_matches_config(tiny_result):
+    assert tiny_result.weeks_run == tiny_result.config.weeks
+
+
+def test_event_log_tells_the_story(tiny_result):
+    kinds = tiny_result.internet.events.counts_by_kind()
+    assert kinds["cloud.provision"] > kinds["cloud.release"]
+    assert kinds.get("attacker.takeover", 0) == len(tiny_result.ground_truth)
+    assert kinds.get("world.dangling", 0) >= kinds.get("attacker.takeover", 0)

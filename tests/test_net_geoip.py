@@ -1,0 +1,27 @@
+"""Tests for GeoIP / IP-WHOIS lookups."""
+
+from repro.net.geoip import GeoIPDatabase
+
+
+def test_lookup_most_specific():
+    db = GeoIPDatabase()
+    db.add("10.0.0.0/8", "US", "BigHoster")
+    db.add("10.1.0.0/16", "FR", "OVH SAS")
+    assert db.country_of("10.1.2.3") == "FR"
+    assert db.organization_of("10.1.2.3") == "OVH SAS"
+    assert db.country_of("10.2.0.1") == "US"
+
+
+def test_lookup_miss_returns_none():
+    db = GeoIPDatabase()
+    db.add("10.0.0.0/8", "US", "BigHoster")
+    assert db.lookup("192.168.1.1") is None
+    assert db.country_of("not-an-ip") is None
+
+
+def test_record_fields():
+    db = GeoIPDatabase()
+    record = db.add("51.38.0.0/16", "FR", "OVH SAS")
+    assert record.cidr == "51.38.0.0/16"
+    assert db.lookup("51.38.200.10") == record
+    assert len(db) == 1

@@ -1,0 +1,38 @@
+"""Tests for the one-call paper-style report."""
+
+from repro.core.paper_report import build_report
+
+
+def test_report_contains_every_section(tiny_result):
+    report = build_report(tiny_result)
+    for marker in (
+        "ABUSE MEASUREMENT REPORT",
+        "Pipeline (Section 3, Figure 1)",
+        "Detections by indicator type (Figure 2)",
+        "Content topics (Figure 3)",
+        "Top index keywords (Table 1)",
+        "Victimology (Section 4.1",
+        "Providers (Section 4.2",
+        "Hijack durations (Section 4.4",
+        "SEO & volume (Section 5.2",
+        "Reputation & certificates",
+        "Malware, blacklists & cookies",
+        "Attribution (Section 6",
+    ):
+        assert marker in report, marker
+
+
+def test_report_reflects_dataset_size(tiny_result):
+    report = build_report(tiny_result)
+    assert str(len(tiny_result.dataset)) in report
+    assert f"seed {tiny_result.config.seed}" in report
+
+
+def test_report_is_deterministic(tiny_result):
+    assert build_report(tiny_result) == build_report(tiny_result)
+
+
+def test_report_includes_monetization_when_present(tiny_result):
+    report = build_report(tiny_result)
+    if tiny_result.monetization is not None and len(tiny_result.monetization.ledger):
+        assert "Monetization (Section 5.3" in report

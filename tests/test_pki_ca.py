@@ -1,0 +1,112 @@
+"""Tests for CA issuance: HTTP-01, DNS-01, CAA enforcement."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.dns.records import RRType, ResourceRecord, caa_rdata
+from repro.pki.ca import IssuanceError
+
+T0 = datetime(2020, 1, 6)
+T1 = datetime(2020, 3, 1)
+T2 = datetime(2020, 3, 8)
+
+
+def _provisioned(internet, name="shop"):
+    azure = internet.catalog.provider("Azure")
+    zone = internet.zones.create_zone("acme.com")
+    resource = azure.provision("azure-web-app", name, owner="org:acme", at=T0)
+    zone.add(
+        ResourceRecord(f"{name}.acme.com", RRType.CNAME, resource.generated_fqdn), T0
+    )
+    azure.add_custom_domain(resource, f"{name}.acme.com", T0)
+    return azure, zone, resource
+
+
+def test_owner_can_issue_via_http01(internet):
+    _, _, resource = _provisioned(internet)
+    cert = internet.issue_certificate(resource, "shop.acme.com", T0)
+    assert cert.is_single_san
+    assert cert.matches("shop.acme.com")
+    assert len(internet.ct_log) >= 1
+
+
+def test_https_works_after_issuance(internet):
+    _, _, resource = _provisioned(internet)
+    internet.issue_certificate(resource, "shop.acme.com", T0)
+    outcome = internet.client.fetch("shop.acme.com", scheme="https", at=T0)
+    assert outcome.ok
+
+
+def test_hijacker_can_issue_fraudulent_certificate(internet):
+    """Section 5.6: whoever controls the content passes validation."""
+    azure, zone, victim = _provisioned(internet)
+    azure.release(victim, T1)
+    hijack = azure.provision("azure-web-app", "shop", owner="attacker:g1", at=T2)
+    azure.add_custom_domain(hijack, "shop.acme.com", T2)
+    cert = internet.issue_certificate(hijack, "shop.acme.com", T2)
+    assert cert.is_single_san
+    # The fraudulent certificate is publicly visible in CT.
+    assert internet.ct_log.first_issuance_for("shop.acme.com") == T2
+
+
+def test_issuance_fails_without_content_control(internet):
+    _, _, resource = _provisioned(internet)
+    ca = internet.cas["Let's Encrypt"]
+    with pytest.raises(IssuanceError):
+        ca.issue(["unrelated.acme.com"], lambda host, path, body: False, T0)
+
+
+def test_caa_blocks_unauthorized_ca(internet):
+    _, zone, resource = _provisioned(internet)
+    zone.add(ResourceRecord("acme.com", RRType.CAA, caa_rdata("issue", "digicert.com")), T0)
+    with pytest.raises(IssuanceError) as error:
+        internet.issue_certificate(resource, "shop.acme.com", T0, ca_name="Let's Encrypt")
+    assert "CAA" in str(error.value)
+
+
+def test_caa_does_not_block_listed_free_ca(internet):
+    """Section 5.6.2: CAA allowing a free CA stops nothing."""
+    _, zone, resource = _provisioned(internet)
+    zone.add(
+        ResourceRecord("acme.com", RRType.CAA, caa_rdata("issue", "letsencrypt.org")), T0
+    )
+    cert = internet.issue_certificate(resource, "shop.acme.com", T0)
+    assert cert.issuer == "Let's Encrypt"
+
+
+def test_wildcard_refused_over_http01(internet):
+    _, _, resource = _provisioned(internet)
+    ca = internet.cas["Let's Encrypt"]
+    provider = internet.catalog.provider("Azure")
+    with pytest.raises(IssuanceError):
+        ca.issue(["*.acme.com"], provider.challenge_installer(resource), T0)
+
+
+def test_dns_validated_multi_san_requires_zone_control(internet):
+    internet.zones.create_zone("acme.com")
+    internet.whois.register("acme.com", owner="Acme Corp", registrar="GoDaddy", created_at=T0)
+    ca = internet.cas["DigiCert"]
+    cert = ca.issue_dns_validated(
+        ["*.acme.com", "acme.com"], "Acme Corp", internet.whois.owner_of, T0
+    )
+    assert cert.is_wildcard
+    with pytest.raises(IssuanceError):
+        ca.issue_dns_validated(
+            ["*.acme.com"], "Mallory", internet.whois.owner_of, T0
+        )
+
+
+def test_ct_monitoring_countermeasure(internet):
+    """Section 5.6.3: a CT monitor alerts on hijacker issuance."""
+    alerts = []
+    internet.ct_log.monitor("acme.com", alerts.append)
+    azure, zone, victim = _provisioned(internet)
+    azure.release(victim, T1)
+    hijack = azure.provision("azure-web-app", "shop", owner="attacker:g1", at=T2)
+    azure.add_custom_domain(hijack, "shop.acme.com", T2)
+    internet.issue_certificate(hijack, "shop.acme.com", T2)
+    hijack_alerts = [
+        a for a in alerts if a.certificate.matches("shop.acme.com")
+    ]
+    assert hijack_alerts, "domain owner should have been alerted"

@@ -1,0 +1,66 @@
+"""Tests for CAA tree climbing (RFC 8659)."""
+
+from datetime import datetime
+
+from repro.dns.records import RRType, ResourceRecord, caa_rdata
+from repro.dns.zone import ZoneRegistry
+from repro.pki.caa import authorized_issuers, caa_authorizes, effective_caa_set
+
+T0 = datetime(2020, 1, 6)
+
+
+def _zones_with_caa(value="letsencrypt.org"):
+    zones = ZoneRegistry()
+    zone = zones.create_zone("example.com")
+    zone.add(ResourceRecord("example.com", RRType.CAA, caa_rdata("issue", value)), T0)
+    return zones
+
+
+def test_no_caa_means_anyone_may_issue():
+    zones = ZoneRegistry()
+    zones.create_zone("example.com")
+    assert effective_caa_set(zones, "a.example.com") is None
+    assert caa_authorizes(zones, "a.example.com", "anyca.example")
+
+
+def test_caa_restricts_to_listed_issuer():
+    zones = _zones_with_caa("digicert.com")
+    assert caa_authorizes(zones, "example.com", "digicert.com")
+    assert not caa_authorizes(zones, "example.com", "letsencrypt.org")
+
+
+def test_tree_climbing_from_subdomain():
+    zones = _zones_with_caa()
+    assert caa_authorizes(zones, "deep.sub.example.com", "letsencrypt.org")
+    assert not caa_authorizes(zones, "deep.sub.example.com", "evilca.example")
+
+
+def test_subdomain_caa_overrides_parent():
+    zones = _zones_with_caa("digicert.com")
+    zone = zones.get_zone("example.com")
+    zone.add(
+        ResourceRecord("sub.example.com", RRType.CAA, caa_rdata("issue", "letsencrypt.org")),
+        T0,
+    )
+    assert caa_authorizes(zones, "x.sub.example.com", "letsencrypt.org")
+    assert not caa_authorizes(zones, "x.sub.example.com", "digicert.com")
+    assert caa_authorizes(zones, "example.com", "digicert.com")
+
+
+def test_deny_all_caa():
+    zones = ZoneRegistry()
+    zone = zones.create_zone("example.com")
+    zone.add(ResourceRecord("example.com", RRType.CAA, caa_rdata("issue", ";")), T0)
+    issuers = authorized_issuers(zones, "example.com")
+    assert issuers == set()
+    assert not caa_authorizes(zones, "example.com", "letsencrypt.org")
+
+
+def test_multiple_issue_records_accumulate():
+    zones = _zones_with_caa()
+    zone = zones.get_zone("example.com")
+    zone.add(
+        ResourceRecord("example.com", RRType.CAA, caa_rdata("issue", "digicert.com")),
+        T0,
+    )
+    assert authorized_issuers(zones, "example.com") == {"letsencrypt.org", "digicert.com"}

@@ -1,0 +1,62 @@
+"""Tests for certificate objects."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.pki.certificate import Certificate
+
+T0 = datetime(2020, 1, 6)
+
+
+def _cert(sans, days=90):
+    return Certificate(
+        serial=1, sans=tuple(sans), issuer="Test CA",
+        not_before=T0, not_after=T0 + timedelta(days=days),
+    )
+
+
+def test_requires_sans_and_sane_window():
+    with pytest.raises(ValueError):
+        _cert([])
+    with pytest.raises(ValueError):
+        Certificate(serial=1, sans=("a.com",), issuer="x", not_before=T0, not_after=T0)
+
+
+def test_single_san_detection():
+    assert _cert(["app.example.com"]).is_single_san
+    assert not _cert(["a.com", "b.com"]).is_single_san
+    assert not _cert(["*.example.com"]).is_single_san
+
+
+def test_exact_name_matching():
+    cert = _cert(["app.example.com"])
+    assert cert.matches("APP.example.com")
+    assert not cert.matches("other.example.com")
+    assert not cert.matches("sub.app.example.com")
+
+
+def test_wildcard_matches_one_level():
+    cert = _cert(["*.example.com", "example.com"])
+    assert cert.is_wildcard
+    assert cert.matches("foo.example.com")
+    assert cert.matches("example.com")
+    assert not cert.matches("a.b.example.com")
+
+
+def test_validity_window():
+    cert = _cert(["a.com"], days=10)
+    assert cert.valid_at(T0 + timedelta(days=5))
+    assert not cert.valid_at(T0 + timedelta(days=11))
+    assert not cert.valid_at(T0 - timedelta(days=1))
+
+
+def test_validity_problem_strings():
+    cert = _cert(["a.com"], days=10)
+    assert cert.validity_problem("a.com", T0) == ""
+    assert "does not cover" in cert.validity_problem("b.com", T0)
+    assert "expired" in cert.validity_problem("a.com", T0 + timedelta(days=20))
+
+
+def test_subject_is_first_san():
+    assert _cert(["x.com", "y.com"]).subject == "x.com"

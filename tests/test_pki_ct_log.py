@@ -1,0 +1,58 @@
+"""Tests for the CT log."""
+
+from datetime import datetime, timedelta
+
+from repro.pki.certificate import Certificate
+from repro.pki.ct_log import CTLog
+
+T0 = datetime(2020, 1, 6)
+
+
+def _cert(serial, sans):
+    return Certificate(
+        serial=serial, sans=tuple(sans), issuer="CA",
+        not_before=T0, not_after=T0 + timedelta(days=90),
+    )
+
+
+def test_submit_and_query():
+    log = CTLog()
+    log.submit(_cert(1, ["a.example.com"]), T0)
+    log.submit(_cert(2, ["*.example.com", "example.com"]), T0 + timedelta(days=1))
+    assert len(log) == 2
+    assert len(log.single_san_entries()) == 1
+    assert len(log.multi_san_entries()) == 1
+
+
+def test_entries_for_name_and_subdomains():
+    log = CTLog()
+    log.submit(_cert(1, ["a.example.com"]), T0)
+    log.submit(_cert(2, ["b.example.com"]), T0)
+    assert len(log.entries_for("a.example.com")) == 1
+    assert len(log.entries_for("example.com", include_subdomains=True)) == 2
+
+
+def test_first_issuance():
+    log = CTLog()
+    assert log.first_issuance_for("a.example.com") is None
+    log.submit(_cert(1, ["a.example.com"]), T0 + timedelta(days=9))
+    log.submit(_cert(2, ["a.example.com"]), T0)
+    assert log.first_issuance_for("a.example.com") == T0
+
+
+def test_monitor_fires_on_covered_names_only():
+    log = CTLog()
+    seen = []
+    log.monitor("example.com", seen.append)
+    log.submit(_cert(1, ["x.example.com"]), T0)
+    log.submit(_cert(2, ["other.com"]), T0)
+    log.submit(_cert(3, ["*.example.com"]), T0)
+    assert len(seen) == 2
+
+
+def test_wildcard_entry_covers_apex_monitoring():
+    log = CTLog()
+    seen = []
+    log.monitor("example.com", seen.append)
+    log.submit(_cert(1, ["*.sub.example.com"]), T0)
+    assert len(seen) == 1

@@ -1,0 +1,154 @@
+"""Tests for the search-engine substrate and poisoning measurement."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.search_poisoning import measure_poisoning
+from repro.dns.records import RRType, ResourceRecord
+from repro.search.crawler import Crawler
+from repro.search.engine import SearchEngine
+from repro.search.index import SearchIndex
+
+T0 = datetime(2020, 1, 6)
+
+
+def _engine(internet, pages_per_host=5):
+    return SearchEngine(
+        Crawler(internet.client, pages_per_host=pages_per_host),
+        internet.whois,
+        internet.ct_log,
+    )
+
+
+def _host(internet, fqdn, body, extra_pages=(), age_days=4000, registered=True):
+    azure = internet.catalog.provider("Azure")
+    edge = azure.edges[0]
+    from repro.web.site import StaticSite
+
+    site = StaticSite()
+    site.put_index(body)
+    for path, page_body in extra_pages:
+        site.put(path, page_body)
+    edge.route(fqdn, site)
+    sld = ".".join(fqdn.split(".")[-2:])
+    zone = internet.zones.get_zone(sld) or internet.zones.create_zone(sld)
+    if registered and internet.whois.lookup(sld) is None:
+        internet.whois.register(sld, owner=sld, registrar="GoDaddy",
+                                created_at=T0 - timedelta(days=age_days))
+    zone.add(ResourceRecord(fqdn, RRType.A, edge.ip), T0)
+    return site
+
+
+GAMBLING = ('<html lang="id"><head><title>slot gacor</title></head><body>'
+            '<p>slot gacor judi online daftar</p>'
+            '<a href="/p1.html">slot</a></body></html>')
+CORPORATE = ('<html><head><title>Acme products</title></head><body>'
+             '<p>products services enterprise</p></body></html>')
+
+
+def test_crawler_fetches_index_and_linked_pages(internet):
+    _host(internet, "spam.foo.com", GAMBLING,
+          extra_pages=[("/p1.html", GAMBLING)])
+    crawler = Crawler(internet.client)
+    pages = crawler.crawl_host("spam.foo.com", T0)
+    assert {p.path for p in pages} == {"/", "/p1.html"}
+    assert crawler.stats.pages_fetched == 2
+
+
+def test_crawler_respects_page_budget(internet):
+    extra = [(f"/p{i}.html", GAMBLING) for i in range(20)]
+    body = GAMBLING.replace("</body>", "".join(
+        f'<a href="/p{i}.html">x</a>' for i in range(20)) + "</body>")
+    _host(internet, "many.foo.com", body, extra_pages=extra)
+    pages = Crawler(internet.client, pages_per_host=4).crawl_host("many.foo.com", T0)
+    assert len(pages) == 4
+
+
+def test_crawler_skips_dead_hosts(internet):
+    crawler = Crawler(internet.client)
+    assert crawler.crawl(["ghost.nowhere.com"], T0) == []
+    assert crawler.stats.fetch_failures == 1
+
+
+def test_crawler_sees_cloaked_content(internet):
+    from repro.attacker.cloaking import CloakingSite
+
+    azure = internet.catalog.provider("Azure")
+    edge = azure.edges[0]
+    site = CloakingSite()
+    site.put_index("<html><body>facade</body></html>")
+    site.put("/spam.html", GAMBLING)
+    sitemap_body = ('<?xml version="1.0"?><urlset><url>'
+                    "<loc>http://cloak.foo.com/spam.html</loc></url></urlset>")
+    site.put("/sitemap.xml", sitemap_body, content_type="application/xml")
+    edge.route("cloak.foo.com", site)
+    zone = internet.zones.create_zone("foo.com")
+    internet.whois.register("foo.com", owner="Foo", registrar="R", created_at=T0)
+    zone.add(ResourceRecord("cloak.foo.com", RRType.A, edge.ip), T0)
+    pages = Crawler(internet.client).crawl_host("cloak.foo.com", T0)
+    # The bot got the parasite page a human would never see.
+    assert any(p.path == "/spam.html" for p in pages)
+
+
+def test_index_and_backlinks(internet):
+    index = SearchIndex()
+    _host(internet, "a.foo.com", GAMBLING.replace(
+        "</body>", '<a href="http://b.bar.com/x">link</a></body>'))
+    pages = Crawler(internet.client).crawl_host("a.foo.com", T0)
+    index.add_pages(pages)
+    assert index.page_count >= 1
+    assert index.pages_for_token("slot")
+    assert index.backlink_count("b.bar.com") == 1
+    assert index.backlink_count("a.foo.com") == 0
+
+
+def test_ranking_prefers_relevance_and_age(internet):
+    engine = _engine(internet)
+    _host(internet, "old.foo.com", GAMBLING, age_days=6000)
+    _host(internet, "young.bar.net", GAMBLING, age_days=30)
+    engine.crawl(["old.foo.com", "young.bar.net"], T0)
+    results = engine.search("slot gacor", T0)
+    assert [r.fqdn for r in results[:2]] == ["old.foo.com", "young.bar.net"]
+    # Irrelevant pages don't rank at all.
+    assert all("slot" in r.title or r.score > 0 for r in results)
+
+
+def test_corporate_pages_dont_rank_for_gambling(internet):
+    engine = _engine(internet)
+    _host(internet, "corp.foo.com", CORPORATE)
+    engine.crawl(["corp.foo.com"], T0)
+    assert engine.search("slot gacor", T0) == []
+    assert engine.search("enterprise products", T0)
+
+
+def test_backlinks_boost_authority(internet):
+    engine = _engine(internet)
+    farm_body = GAMBLING.replace(
+        "</body>", '<a href="http://boosted.foo.com/">slot</a></body>'
+    )
+    _host(internet, "boosted.foo.com", GAMBLING, age_days=1000)
+    _host(internet, "plain.bar.net", GAMBLING, age_days=1000)
+    for i in range(4):
+        _host(internet, f"farm{i}.baz.org", farm_body, age_days=1000)
+    engine.crawl(
+        ["boosted.foo.com", "plain.bar.net"] + [f"farm{i}.baz.org" for i in range(4)],
+        T0,
+    )
+    assert engine.authority("boosted.foo.com", T0) > engine.authority("plain.bar.net", T0)
+
+
+def test_poisoning_on_finished_world(small_result):
+    engine = SearchEngine(
+        Crawler(small_result.internet.client, pages_per_host=3),
+        small_result.internet.whois,
+        small_result.internet.ct_log,
+    )
+    hosts = sorted(small_result.collector.monitored)
+    engine.crawl(hosts, small_result.end)
+    report = measure_poisoning(engine, small_result.dataset, small_result.end)
+    assert report.indexed_hosts > 50
+    gambling = next(q for q in report.queries if q.query == "slot gacor")
+    # Hijacked domains dominate the gambling results — the SEO worked.
+    assert gambling.poisoned_share > 0.5
+    assert gambling.best_poisoned_rank in (1, 2, 3)

@@ -1,0 +1,55 @@
+"""Cross-seed stability: the paper's findings are not one lucky draw.
+
+Runs several independently seeded worlds and asserts that the headline
+*shape* results hold in every one of them — the reproduction's claims
+should be properties of the mechanics, not of seed 42.
+"""
+
+import pytest
+
+from repro.core.detection import topic_breakdown
+from repro.core.provider_analysis import analyze_providers
+from repro.core.scenario import ScenarioConfig, run_scenario
+from repro.core.scoring import score_detector
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_world(request):
+    return run_scenario(ScenarioConfig.tiny(seed=request.param))
+
+
+def test_hijacks_happen_in_every_world(seeded_world):
+    assert len(seeded_world.ground_truth) >= 5
+
+
+def test_detector_quality_holds_across_seeds(seeded_world):
+    score = score_detector(seeded_world.dataset, seeded_world.ground_truth)
+    assert score.precision >= 0.9
+    assert score.recall >= 0.7
+
+
+def test_user_nameable_invariant_holds_across_seeds(seeded_world):
+    report = analyze_providers(
+        seeded_world.dataset, seeded_world.organizations, seeded_world.ground_truth
+    )
+    assert report.all_abuses_user_nameable
+    assert report.dedicated_ip_abuses == 0
+    assert report.random_name_abuses == 0
+
+
+def test_gambling_dominates_across_seeds(seeded_world):
+    shares = {label: share for label, _, share in topic_breakdown(seeded_world.dataset)}
+    assert shares.get("gambling", 0) > shares.get("adult", 0)
+    assert shares.get("gambling", 0) > 0.3
+
+
+def test_azure_leads_across_seeds(seeded_world):
+    report = analyze_providers(
+        seeded_world.dataset, seeded_world.organizations, seeded_world.ground_truth
+    )
+    counts = dict(report.provider_abuse_counts)
+    if counts:
+        assert max(counts, key=counts.get) in ("Azure", "AWS")
+        assert "Google Cloud" not in counts

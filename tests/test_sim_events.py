@@ -1,0 +1,65 @@
+"""Tests for the event log."""
+
+from datetime import datetime
+
+from repro.sim.events import EventLog
+
+
+def _at(day: int) -> datetime:
+    return datetime(2020, 1, day)
+
+
+def test_record_and_len():
+    log = EventLog()
+    log.record(_at(1), "cloud.release", "a.example.com", provider="Azure")
+    assert len(log) == 1
+    event = list(log)[0]
+    assert event.kind == "cloud.release"
+    assert event.data["provider"] == "Azure"
+
+
+def test_query_by_kind_prefix():
+    log = EventLog()
+    log.record(_at(1), "cloud.release", "x")
+    log.record(_at(2), "cloud.provision", "y")
+    log.record(_at(3), "attacker.takeover", "z")
+    assert len(log.query(kind="cloud")) == 2
+    assert len(log.query(kind="cloud.release")) == 1
+    # Prefix match is per dotted component, not per substring.
+    assert log.query(kind="cloud.rel") == []
+
+
+def test_query_by_subject_and_time():
+    log = EventLog()
+    log.record(_at(1), "k", "a")
+    log.record(_at(5), "k", "a")
+    log.record(_at(9), "k", "b")
+    assert len(log.query(subject="a")) == 2
+    assert len(log.query(since=_at(4))) == 2
+    assert len(log.query(until=_at(4))) == 1
+    assert len(log.query(subject="a", since=_at(2), until=_at(6))) == 1
+
+
+def test_query_with_predicate():
+    log = EventLog()
+    log.record(_at(1), "k", "a", size=10)
+    log.record(_at(2), "k", "b", size=99)
+    big = log.query(predicate=lambda e: e.data.get("size", 0) > 50)
+    assert [e.subject for e in big] == ["b"]
+
+
+def test_first_and_last():
+    log = EventLog()
+    assert log.first() is None
+    log.record(_at(1), "k", "a")
+    log.record(_at(2), "k", "b")
+    assert log.first().subject == "a"
+    assert log.last().subject == "b"
+
+
+def test_counts_by_kind():
+    log = EventLog()
+    log.record(_at(1), "x", "s")
+    log.record(_at(1), "x", "s")
+    log.record(_at(1), "y", "s")
+    assert log.counts_by_kind() == {"x": 2, "y": 1}

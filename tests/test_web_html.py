@@ -1,0 +1,90 @@
+"""Tests for the HTML document model and parser."""
+
+from hypothesis import given, strategies as st
+
+from repro.web.html import HtmlDocument, Link, Script, parse_html
+
+
+def _sample_doc() -> HtmlDocument:
+    doc = HtmlDocument(
+        title="Slot Gacor & Friends",
+        lang="id",
+        meta={"keywords": "slot, judi, gacor", "description": "situs judi",
+              "generator": "WordPress 5.8.1", "og:title": "slot online"},
+    )
+    doc.headings = ["Daftar slot"]
+    doc.paragraphs = ["judi slot online terpercaya"]
+    doc.links = [
+        Link(href="https://wa.me/+628123", text="WhatsApp"),
+        Link(href="/page-1.html", text="more", onclick="window.open('x')"),
+    ]
+    doc.scripts = [Script(src="http://141.98.1.1/js/popunder.js"), Script(body="var x=1;")]
+    doc.images = ["http://141.98.1.1/banner.gif"]
+    return doc
+
+
+def test_render_parse_roundtrip_preserves_features():
+    doc = _sample_doc()
+    parsed = parse_html(doc.render())
+    assert parsed.title == doc.title
+    assert parsed.lang == "id"
+    assert parsed.meta["keywords"] == "slot, judi, gacor"
+    assert parsed.meta["generator"] == "WordPress 5.8.1"
+    assert parsed.meta["og:title"] == "slot online"
+    assert [l.href for l in parsed.links] == [l.href for l in doc.links]
+    assert parsed.links[1].onclick == "window.open('x')"
+    assert parsed.scripts[0].src == "http://141.98.1.1/js/popunder.js"
+    assert any(s.body == "var x=1;" for s in parsed.scripts)
+    assert parsed.images == doc.images
+    assert parsed.headings == doc.headings
+    assert parsed.paragraphs == doc.paragraphs
+
+
+def test_meta_keywords_splitting():
+    doc = _sample_doc()
+    assert doc.meta_keywords == ["slot", "judi", "gacor"]
+    assert doc.generator.startswith("WordPress")
+
+
+def test_visible_text_includes_anchor_text():
+    text = _sample_doc().visible_text()
+    assert "Daftar slot" in text
+    assert "WhatsApp" in text
+
+
+def test_external_hosts_and_all_urls():
+    doc = _sample_doc()
+    assert "wa.me" in doc.external_hosts()
+    assert "141.98.1.1" in doc.external_hosts()
+    assert "/page-1.html" in doc.all_urls()
+
+
+def test_parse_tolerates_garbage():
+    doc = parse_html("<<<not <html at all >>>")
+    assert doc.title == ""
+    assert doc.links == []
+
+
+def test_escaping_attributes_roundtrip():
+    doc = HtmlDocument(title='He said "hi" <now>')
+    parsed = parse_html(doc.render())
+    assert parsed.title == 'He said "hi" <now>'
+
+
+TEXT = st.text(
+    alphabet=st.characters(blacklist_characters="<>&\"'", blacklist_categories=("Cs",)),
+    min_size=1, max_size=30,
+).map(lambda s: " ".join(s.split())).filter(bool)
+
+
+@given(TEXT, TEXT, st.lists(TEXT, max_size=3))
+def test_roundtrip_property(title, paragraph, headings):
+    doc = HtmlDocument(title=title, paragraphs=[paragraph], headings=list(headings))
+    parsed = parse_html(doc.render())
+    assert parsed.title == title.strip() or parsed.title == title
+    assert parsed.paragraphs == [paragraph.strip() or paragraph]
+    assert parsed.headings == [h.strip() or h for h in headings]
+
+
+def test_size_bytes_positive():
+    assert _sample_doc().size_bytes() > 100

@@ -1,0 +1,126 @@
+"""Tests for virtual hosting and the application-layer HTTP client."""
+
+from datetime import datetime, timedelta
+
+from repro.dns.records import RRType, ResourceRecord
+from repro.dns.resolver import Resolver
+from repro.dns.zone import ZoneRegistry
+from repro.net.network import Network
+from repro.pki.certificate import Certificate
+from repro.web.client import FetchStatus, HttpClient
+from repro.web.cookies import Cookie, CookieJar
+from repro.web.http import HttpRequest
+from repro.web.server import VirtualHostServer, dedicated_server
+from repro.web.site import StaticSite
+
+T0 = datetime(2020, 1, 6)
+
+
+def _wire(routes):
+    """Build zones/network with one edge serving the given host->body map."""
+    zones = ZoneRegistry()
+    zone = zones.create_zone("example.com")
+    network = Network()
+    edge = VirtualHostServer("Azure")
+    network.bind("40.0.0.1", edge)
+    for host, body in routes.items():
+        site = StaticSite()
+        site.put_index(body)
+        edge.route(host, site)
+        zone.add(ResourceRecord(host, RRType.A, "40.0.0.1"), T0)
+    client = HttpClient(Resolver(zones), network)
+    return zones, network, edge, client
+
+
+def test_routing_by_host_header():
+    _, _, edge, _ = _wire({"a.example.com": "AAA", "b.example.com": "BBB"})
+    assert edge.serve(HttpRequest(host="a.example.com")).body == "AAA"
+    assert edge.serve(HttpRequest(host="B.EXAMPLE.COM")).body == "BBB"
+
+
+def test_unrouted_host_gets_provider_404():
+    _, _, edge, _ = _wire({"a.example.com": "AAA"})
+    response = edge.serve(HttpRequest(host="gone.example.com"))
+    assert response.status == 404
+    assert "Azure" in response.body
+
+
+def test_dedicated_server_answers_any_host():
+    site = StaticSite()
+    site.put_index("VM")
+    server = dedicated_server("AWS", site)
+    assert server.serve(HttpRequest(host="whatever.example")).body == "VM"
+
+
+def test_client_fetch_ok():
+    _, _, _, client = _wire({"a.example.com": "hello"})
+    outcome = client.fetch("a.example.com", at=T0)
+    assert outcome.ok
+    assert outcome.response.body == "hello"
+    assert outcome.ip == "40.0.0.1"
+
+
+def test_client_fetch_nxdomain():
+    _, _, _, client = _wire({})
+    outcome = client.fetch("missing.example.com", at=T0)
+    assert outcome.status == FetchStatus.DNS_NXDOMAIN
+
+
+def test_client_fetch_dark_ip():
+    zones = ZoneRegistry()
+    zone = zones.create_zone("example.com")
+    zone.add(ResourceRecord("dead.example.com", RRType.A, "10.9.9.9"), T0)
+    client = HttpClient(Resolver(zones), Network())
+    assert client.fetch("dead.example.com").status == FetchStatus.CONNECTION_FAILED
+
+
+def test_https_requires_matching_valid_certificate():
+    _, _, edge, client = _wire({"a.example.com": "secure"})
+    outcome = client.fetch("a.example.com", scheme="https", at=T0)
+    assert outcome.status == FetchStatus.TLS_ERROR
+    certificate = Certificate(
+        serial=1, sans=("a.example.com",), issuer="Let's Encrypt",
+        not_before=T0, not_after=T0 + timedelta(days=90),
+    )
+    edge.install_certificate("a.example.com", certificate)
+    assert client.fetch("a.example.com", scheme="https", at=T0).ok
+    # Expired later:
+    late = T0 + timedelta(days=200)
+    # Re-add DNS era: certificate expired by then.
+    assert client.fetch("a.example.com", scheme="https", at=late).status == FetchStatus.TLS_ERROR
+
+
+def test_cookie_jar_roundtrip_through_client():
+    _, _, _, client = _wire({"a.example.com": "hi"})
+    jar = CookieJar()
+    jar.set(Cookie(name="session", value="tok", domain="example.com", is_authentication=True))
+    outcome = client.fetch("a.example.com", at=T0, cookie_jar=jar)
+    assert outcome.ok
+    # The server-side request carried the cookie (header view).
+    # (Verified indirectly through a capturing site below.)
+    captured = {}
+
+    class Capture(StaticSite):
+        def handle(self, request):
+            captured.update(request.cookies)
+            return super().handle(request)
+
+    zones, network, edge, client2 = _wire({})
+    zone = zones.get_zone("example.com")
+    site = Capture()
+    site.put_index("x")
+    edge.route("c.example.com", site)
+    zone.add(ResourceRecord("c.example.com", RRType.A, "40.0.0.1"), T0)
+    client2.fetch("c.example.com", at=T0, cookie_jar=jar)
+    assert captured == {"session": "tok"}
+
+
+def test_unroute_removes_certificates_too():
+    _, _, edge, _ = _wire({"a.example.com": "x"})
+    certificate = Certificate(
+        serial=1, sans=("a.example.com",), issuer="CA",
+        not_before=T0, not_after=T0 + timedelta(days=1),
+    )
+    edge.install_certificate("a.example.com", certificate)
+    edge.unroute("a.example.com")
+    assert edge.certificate_for("a.example.com") is None

@@ -1,0 +1,111 @@
+"""Tests for world population generation."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.dns.names import registered_domain
+from repro.world.organizations import AssetKind, OrgKind
+from repro.world.population import PopulationBuilder, PopulationConfig
+
+T0 = datetime(2020, 1, 6)
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.sim.rng import RngStreams
+    from repro.world.internet import Internet
+
+    internet = Internet(RngStreams(21))
+    builder = PopulationBuilder(internet)
+    config = PopulationConfig(
+        n_enterprises=20, n_universities=8, n_government=6, n_popular=16
+    )
+    organizations = builder.build(config, T0)
+    return internet, builder, config, organizations
+
+
+def test_population_counts(world):
+    _, _, config, orgs = world
+    kinds = [org.kind for org in orgs]
+    assert kinds.count(OrgKind.ENTERPRISE) == 20
+    assert kinds.count(OrgKind.UNIVERSITY) == 8
+    assert kinds.count(OrgKind.GOVERNMENT) == 6
+    assert kinds.count(OrgKind.POPULAR_SITE) == 16
+
+
+def test_every_org_is_registered_and_zoned(world):
+    internet, _, _, orgs = world
+    for org in orgs:
+        assert internet.whois.lookup(org.domain) is not None
+        assert internet.zones.get_zone(org.domain) is not None
+        assert registered_domain(f"www.{org.domain}") == org.domain
+
+
+def test_apex_resolves_and_serves(world):
+    internet, _, _, orgs = world
+    outcome = internet.client.fetch(orgs[0].domain, at=T0)
+    assert outcome.ok
+    assert orgs[0].display_name.split()[0] in outcome.response.body
+
+
+def test_cloud_assets_resolve_through_cname(world):
+    internet, _, _, orgs = world
+    cname_assets = [
+        a for org in orgs for a in org.assets if a.kind == AssetKind.CLOUD_CNAME
+    ]
+    assert cname_assets, "expected some cloud CNAME assets"
+    sample = cname_assets[0]
+    result = internet.resolver.resolve_a_with_chain(sample.fqdn)
+    assert result.ok
+    assert sample.resource.generated_fqdn in result.cname_chain
+
+
+def test_cloud_a_assets_resolve_directly(world):
+    internet, _, _, orgs = world
+    a_assets = [a for org in orgs for a in org.assets if a.kind == AssetKind.CLOUD_A]
+    if not a_assets:
+        pytest.skip("no dedicated-IP assets in this draw")
+    result = internet.resolver.resolve_a_with_chain(a_assets[0].fqdn)
+    assert result.ok
+    assert result.addresses == [a_assets[0].resource.ip]
+
+
+def test_domain_ages_skew_old(world):
+    internet, _, _, orgs = world
+    ages = [internet.whois.lookup(o.domain).age_years(T0) for o in orgs]
+    old = sum(1 for age in ages if age > 1.0)
+    assert old / len(ages) > 0.9
+
+
+def test_fortune_and_tranco_ranks_assigned(world):
+    _, _, _, orgs = world
+    assert any(org.is_fortune500 for org in orgs)
+    ranked = [org for org in orgs if org.tranco_rank is not None]
+    assert len(ranked) >= len(orgs) // 3
+    assert len({org.tranco_rank for org in ranked}) == len(ranked)
+
+
+def test_parked_popular_sites_share_parking_registrar(world):
+    internet, _, _, orgs = world
+    parked = [org for org in orgs if org.is_parked]
+    for org in parked:
+        record = internet.whois.lookup(org.domain)
+        assert record.registrar == "SedoPark Domains"
+        assert record.owner == "SedoPark Parking Services"
+
+
+def test_passive_dns_warmed(world):
+    internet, _, _, orgs = world
+    org_with_assets = next(org for org in orgs if org.assets)
+    subs = internet.passive_dns.subdomains_of(org_with_assets.domain)
+    assert any(a.fqdn in subs for a in org_with_assets.assets)
+
+
+def test_add_asset_growth(world):
+    internet, builder, config, orgs = world
+    org = orgs[0]
+    before = len(org.assets)
+    asset = builder.add_asset(org, config, T0)
+    assert len(org.assets) == before + 1
+    assert asset.fqdn.endswith(org.domain)

@@ -1,0 +1,52 @@
+"""Tests for the simulated user population."""
+
+from datetime import datetime
+
+from repro.sim.rng import RngStreams
+from repro.world.internet import Internet
+from repro.world.population import PopulationBuilder, PopulationConfig
+from repro.world.users import UserPopulation
+
+T0 = datetime(2020, 1, 6)
+
+
+def _world():
+    internet = Internet(RngStreams(41))
+    builder = PopulationBuilder(internet)
+    orgs = builder.build(
+        PopulationConfig(n_enterprises=5, n_universities=0, n_government=0, n_popular=0),
+        T0,
+    )
+    return internet, orgs
+
+
+def test_users_get_parent_scoped_auth_cookies():
+    internet, orgs = _world()
+    users = UserPopulation(internet.client, internet.streams.get("users"))
+    users.add_users_for_org(orgs[0], 3, T0)
+    assert len(users.users()) == 3
+    for user in users.users():
+        cookies = user.jar.all()
+        auth = [c for c in cookies if c.is_authentication]
+        assert len(auth) == 1
+        assert auth[0].domain == orgs[0].domain
+
+
+def test_weekly_browse_loads_pages():
+    internet, orgs = _world()
+    users = UserPopulation(internet.client, internet.streams.get("users"))
+    for org in orgs:
+        users.add_users_for_org(org, 2, T0)
+    loads = users.weekly_browse(T0)
+    assert loads > 0
+
+
+def test_cookie_flag_mix_is_varied():
+    internet, orgs = _world()
+    users = UserPopulation(internet.client, internet.streams.get("users"))
+    users.add_users_for_org(orgs[0], 40, T0)
+    auth = [
+        c for u in users.users() for c in u.jar.all() if c.is_authentication
+    ]
+    assert any(c.secure for c in auth) and any(not c.secure for c in auth)
+    assert any(c.http_only for c in auth) and any(not c.http_only for c in auth)
