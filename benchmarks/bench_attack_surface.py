@@ -11,7 +11,7 @@ from repro.core.reporting import render_table
 
 
 def test_attack_surface_survey(paper, benchmark, emit):
-    fqdns = sorted(paper.collector.monitored)
+    fqdns = paper.collector.monitored_sorted
     survey = benchmark.pedantic(
         survey_attack_surface, args=(paper.internet, fqdns, paper.end),
         rounds=1, iterations=1,

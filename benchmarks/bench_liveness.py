@@ -13,7 +13,7 @@ from repro.core.reporting import percent, render_table
 
 def test_liveness_comparison(paper, benchmark, emit):
     internet = paper.internet
-    monitored = sorted(paper.collector.monitored)
+    monitored = paper.collector.monitored_sorted
     report = benchmark(
         compare_liveness,
         monitored,

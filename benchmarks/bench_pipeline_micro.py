@@ -1,16 +1,21 @@
 """Micro-benchmarks of the pipeline's hot paths.
 
-Not a paper artifact — throughput numbers for the three operations the
+Not a paper artifact — throughput numbers for the operations the
 longitudinal pipeline performs millions of times: Algorithm-1
-collection, weekly monitor sampling, and recursive resolution.
+collection, weekly monitor sampling, and recursive resolution, plus the
+per-stage wall-time/throughput table sourced from the engine's
+:class:`~repro.pipeline.metrics.PipelineMetrics` registry (the same
+table ``python -m repro pipeline`` prints).
 """
 
 from repro.core.collection import collect_fqdns
 from repro.core.monitoring import MonitorConfig, WeeklyMonitor
+from repro.core.reporting import render_table
+from repro.core.scenario import ScenarioConfig, run_scenario
 
 
 def test_algorithm1_throughput(paper, benchmark):
-    names = sorted(paper.collector.monitored)[:500]
+    names = paper.collector.monitored_sorted[:500]
     internet = paper.internet
     selected = benchmark(
         collect_fqdns, names, internet.catalog.suffixes,
@@ -20,7 +25,7 @@ def test_algorithm1_throughput(paper, benchmark):
 
 
 def test_resolver_throughput(paper, benchmark):
-    names = sorted(paper.collector.monitored)[:500]
+    names = paper.collector.monitored_sorted[:500]
     resolver = paper.internet.resolver
 
     def resolve_all():
@@ -31,7 +36,7 @@ def test_resolver_throughput(paper, benchmark):
 
 
 def test_monitor_sample_throughput(paper, benchmark):
-    names = sorted(paper.collector.monitored)[:200]
+    names = paper.collector.monitored_sorted[:200]
     monitor = WeeklyMonitor(paper.internet.client, config=MonitorConfig())
 
     def sweep_once():
@@ -39,3 +44,32 @@ def test_monitor_sample_throughput(paper, benchmark):
 
     benchmark.pedantic(sweep_once, rounds=3, iterations=1)
     assert monitor.samples_taken >= 200
+
+
+def test_pipeline_stage_timings(emit):
+    """Per-stage engine instrumentation over a tiny end-to-end run.
+
+    Runs standalone in seconds (no ``paper`` fixture) so CI can smoke
+    it per PR; the emitted table makes stage-level perf regressions
+    visible in ``benchmarks/results/``.
+    """
+    result = run_scenario(ScenarioConfig.tiny())
+    metrics = result.metrics
+    assert metrics is not None
+    rows = metrics.rows()
+    assert [row[0] for row in rows] == [
+        "world", "orchestrator", "users", "collector-refresh",
+        "monitor-sweep", "change-detect", "detect", "notify", "harvest",
+    ]
+    for row in rows:
+        assert row[1] == result.weeks_run  # every stage ticked every week
+    sweep = metrics.stage("monitor-sweep")
+    assert sweep.items_processed > 0 and sweep.wall_time > 0
+    emit(
+        "pipeline_stage_timings",
+        render_table(
+            ["stage", "ticks", "wall s", "mean tick ms", "items", "items/s"],
+            rows,
+            title=f"Pipeline stage metrics (tiny, {result.weeks_run} weeks)",
+        ),
+    )

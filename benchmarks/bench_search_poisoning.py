@@ -21,7 +21,7 @@ def engine(paper):
         paper.internet.whois,
         paper.internet.ct_log,
     )
-    engine.crawl(sorted(paper.collector.monitored), paper.end)
+    engine.crawl(paper.collector.monitored_sorted, paper.end)
     return engine
 
 

@@ -26,7 +26,7 @@ def main() -> None:
     now = result.end
 
     # 1. Audit the full monitored estate.
-    fqdns = sorted(result.collector.monitored)
+    fqdns = result.collector.monitored_sorted
     survey = survey_attack_surface(internet, fqdns, now)
     print(render_table(
         ["chain status", "FQDNs"], survey.rows(),

@@ -19,7 +19,13 @@ the paper-vs-measured comparison of every table and figure.
 
 from repro.core.collection import collect_fqdns
 from repro.core.detection import AbuseDataset, AbuseDetector, AbuseRecord
-from repro.core.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.core.scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    build_scenario,
+    run_scenario,
+)
+from repro.pipeline import PipelineEngine, PipelineMetrics, Stage, WeekContext
 from repro.sim.clock import SimClock
 from repro.sim.rng import RngStreams
 from repro.world.internet import Internet
@@ -29,7 +35,12 @@ __version__ = "1.0.0"
 __all__ = [
     "ScenarioConfig",
     "ScenarioResult",
+    "build_scenario",
     "run_scenario",
+    "PipelineEngine",
+    "PipelineMetrics",
+    "Stage",
+    "WeekContext",
     "collect_fqdns",
     "AbuseDataset",
     "AbuseDetector",

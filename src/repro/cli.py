@@ -6,10 +6,12 @@
                                [--notify] [--randomize-names] [--export PATH]
     python -m repro report     [--seed N] [--scale ...]
     python -m repro audit      [--seed N] [--scale ...]
+    python -m repro pipeline   [--seed N] [--scale ...]
 
 ``run`` executes a scenario and prints the headline summary (optionally
 exporting the abuse dataset to JSON); ``report`` adds the per-analysis
-breakdowns; ``audit`` plays the defender and surveys the attack surface.
+breakdowns; ``audit`` plays the defender and surveys the attack surface;
+``pipeline`` prints the engine's per-stage timing/throughput table.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ("run", "run a scenario and print the summary"),
         ("report", "run a scenario and print analysis breakdowns"),
         ("audit", "run a scenario and survey the final attack surface"),
+        ("pipeline", "run a scenario and print per-stage pipeline metrics"),
     ):
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--seed", type=int, default=42)
@@ -90,9 +93,23 @@ def _print_report(result: ScenarioResult, out) -> None:
     print(build_report(result), file=out)
 
 
+def _print_pipeline(result: ScenarioResult, out) -> None:
+    metrics = result.metrics
+    assert metrics is not None, "run_scenario always attaches metrics"
+    print(
+        render_table(
+            ["stage", "ticks", "wall s", "mean tick ms", "items", "items/s"],
+            metrics.rows(),
+            title=f"Pipeline stage metrics ({result.weeks_run} weeks, "
+                  f"{metrics.total_wall_time():.2f}s total)",
+        ),
+        file=out,
+    )
+
+
 def _print_audit(result: ScenarioResult, out) -> None:
     survey = survey_attack_surface(
-        result.internet, sorted(result.collector.monitored), result.end
+        result.internet, result.collector.monitored_sorted, result.end
     )
     print(
         render_table(
@@ -130,6 +147,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         _print_report(result, out)
     elif args.command == "audit":
         _print_audit(result, out)
+    elif args.command == "pipeline":
+        _print_pipeline(result, out)
     return 0
 
 

@@ -101,7 +101,10 @@ class CloudProvider:
         self._active: Dict[Tuple[str, str], CloudResource] = {}
         self._released_at: Dict[Tuple[str, str], datetime] = {}
         self._all_resources: List[CloudResource] = []
-        self._resource_edges: Dict[int, VirtualHostServer] = {}
+        # Keyed by (service_key, name) — unique among *active* resources
+        # and, unlike id(), stable across pickle round-trips (checkpoint
+        # resume restores the engine in a fresh process).
+        self._resource_edges: Dict[Tuple[str, str], VirtualHostServer] = {}
 
         self._ensure_zones()
         self._edges: List[VirtualHostServer] = []
@@ -273,7 +276,7 @@ class CloudProvider:
         self._active[(resource.service_key, resource.name)] = resource
         self._all_resources.append(resource)
         if edge is not None:
-            self._resource_edges[id(resource)] = edge
+            self._resource_edges[(resource.service_key, resource.name)] = edge
         self._events.record(
             at, "cloud.provision", resource.generated_fqdn or resource.ip,
             provider=self.name, service=resource.service_key,
@@ -292,7 +295,7 @@ class CloudProvider:
         key = (resource.service_key, resource.name)
         if self._active.get(key) is not resource:
             raise ReleaseError(f"resource not active: {resource!r}")
-        edge = self._resource_edges.pop(id(resource), None)
+        edge = self._resource_edges.pop((resource.service_key, resource.name), None)
         if resource.generated_fqdn and resource.spec.zone_apex:
             if not resource.spec.wildcard_dns:
                 zone = self._zones.get_zone(resource.spec.zone_apex)
@@ -338,7 +341,7 @@ class CloudProvider:
             raise CustomDomainError(
                 f"{fqdn} does not CNAME to {resource.generated_fqdn}"
             )
-        edge = self._resource_edges.get(id(resource))
+        edge = self._resource_edges.get((resource.service_key, resource.name))
         if edge is None:
             raise CustomDomainError("resource has no edge (dedicated-IP resource?)")
         edge.route(fqdn, resource.site)
@@ -357,7 +360,7 @@ class CloudProvider:
         instrumented (cookie-harvesting) site onto a taken-over
         resource.
         """
-        edge = self._resource_edges.get(id(resource))
+        edge = self._resource_edges.get((resource.service_key, resource.name))
         if edge is None:
             raise ReleaseError("resource has no routable server")
         hostnames = [resource.generated_fqdn] + list(resource.custom_domains)
@@ -369,7 +372,7 @@ class CloudProvider:
 
     def install_certificate(self, resource: CloudResource, hostname: str, certificate) -> None:
         """Install a TLS certificate for ``hostname`` on the resource's server."""
-        edge = self._resource_edges.get(id(resource))
+        edge = self._resource_edges.get((resource.service_key, resource.name))
         if edge is None:
             raise ReleaseError("resource has no server to install a certificate on")
         edge.install_certificate(hostname, certificate)

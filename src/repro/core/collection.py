@@ -14,6 +14,7 @@ breaks (that persistence is what lets the monitor see takeovers).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -75,6 +76,9 @@ class FqdnCollector:
         self._suffixes = tuple(cloud_suffixes)
         self._cloud_ips = cloud_ips
         self._monitored: Set[Name] = set()
+        #: Sorted view of the monitored set, maintained incrementally on
+        #: ingest so the weekly sweep never re-sorts the full set.
+        self._monitored_sorted: List[Name] = []
         self._rejected: Set[Name] = set()
         self.stats = CollectorStats()
 
@@ -82,6 +86,22 @@ class FqdnCollector:
     def monitored(self) -> Set[Name]:
         """The current monitored set (admitted names are never dropped)."""
         return set(self._monitored)
+
+    @property
+    def monitored_sorted(self) -> Sequence[Name]:
+        """The monitored set in sorted order, without re-sorting.
+
+        Updated incrementally as names are admitted; equals
+        ``sorted(self.monitored)`` at all times.  Treat as read-only —
+        the collector owns the underlying list.
+        """
+        return self._monitored_sorted
+
+    def _admit(self, admitted: Set[Name]) -> None:
+        for name in sorted(admitted):
+            if name not in self._monitored:
+                self._monitored.add(name)
+                insort(self._monitored_sorted, name)
 
     def monitored_count(self) -> int:
         return len(self._monitored)
@@ -99,7 +119,7 @@ class FqdnCollector:
         ]
         self.stats.candidates_seen += len(fresh)
         admitted = collect_fqdns(fresh, self._suffixes, self._cloud_ips, self._resolver, at)
-        self._monitored |= admitted
+        self._admit(admitted)
         self._rejected |= {c for c in fresh if c not in admitted}
         self.stats.record_month(at, len(self._monitored))
         return len(admitted)
@@ -110,7 +130,7 @@ class FqdnCollector:
         if sample is not None:
             names = names[:sample]
         admitted = collect_fqdns(names, self._suffixes, self._cloud_ips, self._resolver, at)
-        self._monitored |= admitted
+        self._admit(admitted)
         self._rejected -= admitted
         if admitted:
             self.stats.record_month(at, len(self._monitored))

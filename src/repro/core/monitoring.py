@@ -15,7 +15,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field, replace
 from datetime import datetime
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.keywords import extract_keywords
 from repro.dns.names import Name
@@ -40,6 +40,9 @@ class MonitorConfig:
     sitemap_sample_cap: int = 10
     #: Try HTTPS first when a certificate exists, else HTTP.
     prefer_https: bool = False
+    #: Batch size for :meth:`WeeklyMonitor.sweep_iter` — the unit of
+    #: work a parallel executor will shard across workers.
+    sweep_batch_size: int = 256
 
 
 @dataclass(frozen=True)
@@ -162,12 +165,32 @@ class WeeklyMonitor:
         change detection.
         """
         changed: List[Tuple[SnapshotFeatures, Optional[SnapshotFeatures]]] = []
-        for fqdn in fqdns:
-            features = self.sample(fqdn, at)
-            is_new, previous = self.store.record(features)
-            if is_new:
-                changed.append((features, previous))
+        for batch_changed in self.sweep_iter(fqdns, at):
+            changed.extend(batch_changed)
         return changed
+
+    def sweep_iter(
+        self, fqdns: Sequence[Name], at: datetime, batch_size: Optional[int] = None
+    ) -> Iterator[List[Tuple[SnapshotFeatures, Optional[SnapshotFeatures]]]]:
+        """Sample in fixed-size batches, yielding each batch's changes.
+
+        Batches are the unit a parallel executor will shard: each batch
+        touches a disjoint slice of the monitored set, so batches can
+        run concurrently once the store is partitioned.  Yields one
+        (possibly empty) changed-pairs list per batch; iterating to
+        exhaustion is equivalent to :meth:`sweep`.
+        """
+        size = batch_size if batch_size is not None else self.config.sweep_batch_size
+        if size <= 0:
+            raise ValueError(f"batch_size must be positive, got {size}")
+        for start in range(0, len(fqdns), size):
+            changed: List[Tuple[SnapshotFeatures, Optional[SnapshotFeatures]]] = []
+            for fqdn in fqdns[start:start + size]:
+                features = self.sample(fqdn, at)
+                is_new, previous = self.store.record(features)
+                if is_new:
+                    changed.append((features, previous))
+            yield changed
 
     def sample(self, fqdn: Name, at: datetime) -> SnapshotFeatures:
         """One weekly sample: index fetch, plus sitemap when warranted."""

@@ -1,14 +1,17 @@
 """End-to-end scenario driver.
 
 ``run_scenario`` builds one simulated Internet, populates it, and runs
-the paper's three-year loop week by week: the legitimate world evolves,
-attacker campaigns hunt and hijack, users browse (and get their cookies
-stolen), the collector keeps expanding the monitored set, the monitor
-samples every monitored FQDN, and the detector turns changes into abuse
-records.  The returned :class:`ScenarioResult` carries every component,
-so analyses can read both the *measured* view (the detector's dataset)
-and the *ground-truth* view (the hijack log) — enabling the
-precision/recall scoring the paper itself could not do.
+the paper's three-year loop week by week on the stage-based
+:class:`~repro.pipeline.engine.PipelineEngine`: the legitimate world
+evolves, attacker campaigns hunt and hijack, users browse (and get
+their cookies stolen), the collector keeps expanding the monitored set,
+the monitor samples every monitored FQDN in batches, and the detector
+turns changes into abuse records.  ``build_scenario`` exposes the
+composed-but-unrun engine for callers that want to step, checkpoint or
+resume the run themselves.  The returned :class:`ScenarioResult`
+carries every component, so analyses can read both the *measured* view
+(the detector's dataset) and the *ground-truth* view (the hijack log) —
+enabling the precision/recall scoring the paper itself could not do.
 """
 
 from __future__ import annotations
@@ -20,12 +23,25 @@ from typing import List, Optional
 from repro.attacker.campaign import CampaignOrchestrator
 from repro.attacker.groups import AttackerGroup, make_default_groups
 from repro.attacker.monetization import MonetizationEcosystem
-from repro.core.changes import ChangeEvent, detect_changes
 from repro.core.collection import FqdnCollector
 from repro.core.detection import AbuseDataset, AbuseDetector, DetectorConfig
 from repro.core.malware_analysis import BinaryHarvester
 from repro.core.notifications import NotificationCampaign
 from repro.core.monitoring import MonitorConfig, WeeklyMonitor
+from repro.core.stages import (
+    ChangeDetectStage,
+    CollectorRefreshStage,
+    DetectStage,
+    HarvestStage,
+    MonitorSweepStage,
+    NotifyStage,
+    OrchestratorStage,
+    UsersStage,
+    WorldStage,
+    candidate_names,
+)
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.metrics import PipelineMetrics
 from repro.sim.clock import DEFAULT_START, SimClock
 from repro.sim.rng import RngStreams
 from repro.world.ground_truth import GroundTruthLog
@@ -113,6 +129,8 @@ class ScenarioResult:
     notifications: Optional["NotificationCampaign"] = None
     monetization: Optional[MonetizationEcosystem] = None
     weeks_run: int = 0
+    #: Per-stage instrumentation of the run (set by ``run_scenario``).
+    metrics: Optional[PipelineMetrics] = None
 
     @property
     def dataset(self) -> AbuseDataset:
@@ -124,8 +142,14 @@ class ScenarioResult:
         return self.internet.clock.now
 
 
-def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
-    """Run one full world from construction to the final week."""
+def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
+    """Construct the world and compose the weekly pipeline, unrun.
+
+    The returned engine's ``payload`` is the :class:`ScenarioResult`;
+    ``engine.run()`` executes all configured weeks, ``engine.step()``
+    executes one, and ``engine.checkpoint()`` snapshots the run for a
+    later :meth:`~repro.pipeline.engine.PipelineEngine.restore`.
+    """
     config = config or ScenarioConfig()
     streams = RngStreams(config.seed)
     clock = SimClock(config.start, config.start + timedelta(weeks=config.weeks))
@@ -159,7 +183,7 @@ def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
     collector = FqdnCollector(
         internet.resolver, internet.catalog.suffixes, internet.catalog.cloud_ips
     )
-    collector.ingest(_candidate_names(internet, organizations), clock.now)
+    collector.ingest(candidate_names(internet, organizations), clock.now)
     monitor = WeeklyMonitor(internet.client, config=config.monitor)
     detector = AbuseDetector(monitor.store, config.detector, whois=internet.whois)
 
@@ -180,35 +204,27 @@ def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
         monetization=monetization,
     )
 
-    week_index = 0
-    for at in clock.weekly():
-        engine.step(at)
-        orchestrator.step(at)
-        users.weekly_browse(at, config.browse_visits_per_user)
-        if week_index % config.collector_refresh_weeks == 0:
-            collector.ingest(_candidate_names(internet, organizations), at)
-        changed_pairs = monitor.sweep(sorted(collector.monitored), at)
-        changes: List[ChangeEvent] = [
-            detect_changes(previous, current) for current, previous in changed_pairs
-        ]
-        newly_flagged = detector.process_week(changes, at)
-        if notifications is not None and newly_flagged:
-            notifications.notify(newly_flagged, at)
-        if week_index % 4 == 0:
-            harvester.harvest(detector.dataset, monitor.store, at)
-        week_index += 1
-    result.weeks_run = week_index
+    stages = [
+        WorldStage(engine),
+        OrchestratorStage(orchestrator),
+        UsersStage(users, config.browse_visits_per_user),
+        CollectorRefreshStage(
+            collector, internet, organizations, config.collector_refresh_weeks
+        ),
+        MonitorSweepStage(monitor, collector),
+        ChangeDetectStage(),
+        DetectStage(detector),
+        NotifyStage(notifications),
+        HarvestStage(harvester, detector, monitor),
+    ]
+    return PipelineEngine(stages, clock, streams, payload=result)
+
+
+def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
+    """Run one full world from construction to the final week."""
+    pipeline = build_scenario(config)
+    pipeline.run()
+    result: ScenarioResult = pipeline.payload
+    result.weeks_run = pipeline.week_index
+    result.metrics = pipeline.metrics
     return result
-
-
-def _candidate_names(internet: Internet, organizations: List[Organization]) -> List[str]:
-    """The candidate feed: apex domains plus passive-DNS subdomains.
-
-    Mirrors Section 3.1: a seed list of high-profile domains, expanded
-    to all subdomains observed in passive DNS.
-    """
-    names: List[str] = []
-    for org in organizations:
-        names.append(org.domain)
-        names.extend(internet.passive_dns.subdomains_of(org.domain))
-    return names

@@ -1,0 +1,64 @@
+"""Per-week shared state passed between stages.
+
+Each weekly tick gets one :class:`WeekContext`: the simulated instant,
+the week index, the run's RNG streams, and a keyed output board where
+stages publish what downstream stages consume (``changed_pairs``,
+``changes``, ``newly_flagged`` …).  The board is cleared between weeks
+so stages cannot accidentally read stale state from a previous tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Dict
+
+from repro.sim.rng import RngStreams
+
+
+class MissingOutputError(KeyError):
+    """A stage read an output key no earlier stage published this week."""
+
+    def __init__(self, key: str, stage: str = ""):
+        reader = f" (read by stage {stage!r})" if stage else ""
+        super().__init__(
+            f"pipeline output {key!r} was not published this week{reader}"
+        )
+        self.key = key
+        self.stage = stage
+
+
+@dataclass
+class WeekContext:
+    """One weekly tick's shared state."""
+
+    at: datetime
+    week_index: int
+    streams: RngStreams
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    #: Name of the stage currently ticking (set by the engine; used to
+    #: attribute :class:`MissingOutputError` and items-processed counts).
+    current_stage: str = ""
+
+    def put(self, key: str, value: Any) -> None:
+        """Publish an inter-stage output for this week."""
+        self.outputs[key] = value
+
+    def get(self, key: str) -> Any:
+        """Read an output published earlier this week.
+
+        Raises :class:`MissingOutputError` when no stage published it —
+        a mis-ordered composition, which the engine's dependency check
+        catches at construction for stages that declare ``requires``.
+        """
+        try:
+            return self.outputs[key]
+        except KeyError:
+            raise MissingOutputError(key, self.current_stage) from None
+
+    def has(self, key: str) -> bool:
+        return key in self.outputs
+
+    def clear(self) -> None:
+        """Drop all outputs (called by the engine between weeks)."""
+        self.outputs.clear()

@@ -1,0 +1,194 @@
+"""The pipeline engine: ordered stages, weekly ticks, checkpoints.
+
+:class:`PipelineEngine` owns the run loop that ``run_scenario`` used to
+hard-wire: it validates the stage composition up front (every declared
+``requires`` key must be provided by an earlier stage), drives the
+simulation clock week by week, times every stage tick into a
+:class:`~repro.pipeline.metrics.PipelineMetrics` registry, and can
+snapshot its entire state — stages, clock, RNG streams, payload — into
+a :class:`Checkpoint` that a later process restores to resume the run
+mid-way.  Snapshots lean on the simulation being pure picklable Python
+state: no wall clock, no sockets, no threads.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Any, Callable, List, Optional, Sequence, Set
+
+from repro.pipeline.context import WeekContext
+from repro.pipeline.metrics import PipelineMetrics
+from repro.pipeline.stage import Stage
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams
+
+
+class StageGraphError(ValueError):
+    """The stage composition is invalid (duplicate names, unmet deps)."""
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A resumable snapshot of a mid-run engine."""
+
+    week_index: int
+    at: datetime
+    blob: bytes
+
+    def size_bytes(self) -> int:
+        return len(self.blob)
+
+
+def _validate(stages: Sequence[Stage]) -> None:
+    seen: Set[str] = set()
+    provided: Set[str] = set()
+    for position, stage in enumerate(stages):
+        if not stage.name:
+            raise StageGraphError(f"stage at position {position} has no name")
+        if stage.name in seen:
+            raise StageGraphError(f"duplicate stage name {stage.name!r}")
+        seen.add(stage.name)
+        missing = [key for key in stage.requires if key not in provided]
+        if missing:
+            raise StageGraphError(
+                f"stage {stage.name!r} requires {missing} but no earlier "
+                f"stage provides them (provided so far: {sorted(provided)})"
+            )
+        provided.update(stage.provides)
+
+
+class PipelineEngine:
+    """Runs an ordered stage list over weekly simulated ticks.
+
+    Parameters
+    ----------
+    stages:
+        The composition, in execution order.  Validated immediately.
+    clock:
+        The simulation clock the engine advances; shared with the
+        simulated world so all in-world timestamps stay coherent.
+    streams:
+        The run's RNG streams, exposed to stages via the context.
+    payload:
+        Arbitrary picklable object carried through checkpoints —
+        ``run_scenario`` stores its :class:`ScenarioResult` here so a
+        restored engine hands back the restored world.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        clock: SimClock,
+        streams: RngStreams,
+        payload: Any = None,
+        week_step: timedelta = timedelta(weeks=1),
+    ):
+        _validate(stages)
+        self.stages: List[Stage] = list(stages)
+        self.clock = clock
+        self.streams = streams
+        self.payload = payload
+        self.week_step = week_step
+        self.metrics = PipelineMetrics()
+        self.week_index = 0
+        self._setup_done = False
+        self._finish_done = False
+        # Register rows up front so the metrics table shows pipeline order.
+        for stage in self.stages:
+            self.metrics.stage(stage.name)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _context(self) -> WeekContext:
+        return WeekContext(
+            at=self.clock.now, week_index=self.week_index, streams=self.streams
+        )
+
+    def _run_setup(self) -> None:
+        ctx = self._context()
+        for stage in self.stages:
+            ctx.current_stage = stage.name
+            started = time.perf_counter()
+            stage.setup(ctx)
+            self.metrics.record_setup(stage.name, time.perf_counter() - started)
+        self._setup_done = True
+
+    def _run_finish(self) -> None:
+        ctx = self._context()
+        for stage in self.stages:
+            ctx.current_stage = stage.name
+            started = time.perf_counter()
+            stage.finish(ctx)
+            self.metrics.record_finish(stage.name, time.perf_counter() - started)
+        self._finish_done = True
+
+    def step(self) -> WeekContext:
+        """Run one weekly tick through every stage, advance the clock."""
+        if not self._setup_done:
+            self._run_setup()
+        ctx = self._context()
+        for stage in self.stages:
+            ctx.current_stage = stage.name
+            started = time.perf_counter()
+            items = stage.tick(ctx)
+            self.metrics.record_tick(
+                stage.name, time.perf_counter() - started, int(items or 0)
+            )
+        self.week_index += 1
+        self.clock.advance(self.week_step)
+        return ctx
+
+    def run(
+        self,
+        max_weeks: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        on_checkpoint: Optional[Callable[[Checkpoint], None]] = None,
+    ) -> int:
+        """Run until the clock's end (or ``max_weeks`` more ticks).
+
+        ``checkpoint_every=N`` snapshots the engine after every N weeks
+        and hands the :class:`Checkpoint` to ``on_checkpoint``; restore
+        with :meth:`PipelineEngine.restore` to resume.  Returns the
+        number of weeks ticked by this call.
+        """
+        ran = 0
+        while not self.clock.finished():
+            if max_weeks is not None and ran >= max_weeks:
+                return ran
+            self.step()
+            ran += 1
+            if (
+                checkpoint_every
+                and on_checkpoint is not None
+                and self.week_index % checkpoint_every == 0
+                and not self.clock.finished()
+            ):
+                on_checkpoint(self.checkpoint())
+        if self._setup_done and not self._finish_done:
+            self._run_finish()
+        return ran
+
+    # -- checkpoint / resume ---------------------------------------------
+
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the entire engine state (stages, clock, RNG, payload)."""
+        return Checkpoint(
+            week_index=self.week_index,
+            at=self.clock.now,
+            blob=pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    @staticmethod
+    def restore(checkpoint: Checkpoint) -> "PipelineEngine":
+        """Rebuild a mid-run engine from a checkpoint; ``run()`` resumes it."""
+        engine = pickle.loads(checkpoint.blob)
+        if not isinstance(engine, PipelineEngine):  # pragma: no cover - corruption
+            raise StageGraphError("checkpoint does not contain a PipelineEngine")
+        return engine
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        names = ", ".join(stage.name for stage in self.stages)
+        return f"PipelineEngine(week={self.week_index}, stages=[{names}])"

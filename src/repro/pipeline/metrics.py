@@ -1,0 +1,86 @@
+"""Per-stage instrumentation for the pipeline engine.
+
+Every stage tick is timed and counted; stages additionally report an
+*items processed* gauge (FQDNs swept, changes detected, abuses flagged)
+so throughput — not just wall time — is visible per stage.  The
+registry renders as the table ``python -m repro pipeline`` prints and
+is what ``benchmarks/bench_pipeline_micro.py`` consumes instead of
+ad-hoc timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class StageMetrics:
+    """Accumulated counters for one stage across the run."""
+
+    name: str
+    ticks: int = 0
+    wall_time: float = 0.0
+    items_processed: int = 0
+    setup_time: float = 0.0
+    finish_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        return self.setup_time + self.wall_time + self.finish_time
+
+    @property
+    def mean_tick_ms(self) -> float:
+        return (self.wall_time / self.ticks) * 1000.0 if self.ticks else 0.0
+
+    @property
+    def items_per_second(self) -> float:
+        return self.items_processed / self.wall_time if self.wall_time > 0 else 0.0
+
+
+class PipelineMetrics:
+    """Registry of per-stage counters for one engine run."""
+
+    def __init__(self) -> None:
+        self._stages: Dict[str, StageMetrics] = {}
+
+    def stage(self, name: str) -> StageMetrics:
+        """The metrics row for ``name``, created on first use."""
+        row = self._stages.get(name)
+        if row is None:
+            row = StageMetrics(name=name)
+            self._stages[name] = row
+        return row
+
+    def record_tick(self, name: str, seconds: float, items: int = 0) -> None:
+        row = self.stage(name)
+        row.ticks += 1
+        row.wall_time += seconds
+        row.items_processed += items
+
+    def record_setup(self, name: str, seconds: float) -> None:
+        self.stage(name).setup_time += seconds
+
+    def record_finish(self, name: str, seconds: float) -> None:
+        self.stage(name).finish_time += seconds
+
+    def stages(self) -> List[StageMetrics]:
+        """Rows in registration (= pipeline) order."""
+        return list(self._stages.values())
+
+    def total_wall_time(self) -> float:
+        return sum(row.total_time for row in self._stages.values())
+
+    def rows(self) -> List[Tuple[str, int, str, str, int, str]]:
+        """Render-ready rows: (stage, ticks, wall s, mean tick ms, items, items/s)."""
+        return [
+            (
+                row.name,
+                row.ticks,
+                f"{row.total_time:.3f}",
+                f"{row.mean_tick_ms:.2f}",
+                row.items_processed,
+                f"{row.items_per_second:,.0f}" if row.items_per_second else "-",
+            )
+            for row in self._stages.values()
+        ]

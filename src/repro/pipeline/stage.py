@@ -1,0 +1,79 @@
+"""The stage protocol.
+
+A stage is one component of the weekly pipeline.  The engine calls
+``setup`` once before the first week, ``tick`` every week, and
+``finish`` once after the last week.  Stages declare the context keys
+they ``require`` and ``provide`` so the engine can validate the
+composition before running anything.
+
+``tick`` returns the number of items the stage processed this week
+(FQDNs swept, changes classified, …); the engine feeds that into
+:class:`~repro.pipeline.metrics.PipelineMetrics`.  Returning ``None``
+counts as zero.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.pipeline.context import WeekContext
+
+
+class Stage:
+    """Base class / protocol for pipeline stages.
+
+    Subclasses set :attr:`name` and override :meth:`tick`; ``setup``
+    and ``finish`` default to no-ops.  ``requires``/``provides`` list
+    the :class:`WeekContext` output keys the stage reads and writes.
+    """
+
+    name: str = ""
+    requires: Tuple[str, ...] = ()
+    provides: Tuple[str, ...] = ()
+
+    def setup(self, ctx: WeekContext) -> None:
+        """One-time initialisation before the first week."""
+
+    def tick(self, ctx: WeekContext) -> Optional[int]:
+        """Process one week; return items processed (or ``None``)."""
+        raise NotImplementedError
+
+    def finish(self, ctx: WeekContext) -> None:
+        """One-time teardown after the last week."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FunctionStage(Stage):
+    """Wrap a plain callable as a stage — the quickest way to compose.
+
+    >>> stage = FunctionStage("double", lambda ctx: ctx.put("x", 2))
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tick: Callable[[WeekContext], Optional[int]],
+        requires: Tuple[str, ...] = (),
+        provides: Tuple[str, ...] = (),
+        setup: Optional[Callable[[WeekContext], None]] = None,
+        finish: Optional[Callable[[WeekContext], None]] = None,
+    ):
+        self.name = name
+        self.requires = tuple(requires)
+        self.provides = tuple(provides)
+        self._tick = tick
+        self._setup = setup
+        self._finish = finish
+
+    def setup(self, ctx: WeekContext) -> None:
+        if self._setup is not None:
+            self._setup(ctx)
+
+    def tick(self, ctx: WeekContext) -> Optional[int]:
+        return self._tick(ctx)
+
+    def finish(self, ctx: WeekContext) -> None:
+        if self._finish is not None:
+            self._finish(ctx)

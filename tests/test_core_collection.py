@@ -98,3 +98,36 @@ def test_admitted_names_never_dropped(internet):
     internet.zones.get_zone("acme.com").remove_all("web.acme.com", RRType.CNAME, T0)
     collector.ingest(["new.acme.com"], T0 + timedelta(weeks=1))
     assert "web.acme.com" in collector.monitored
+
+
+def test_sorted_view_tracks_ingest(internet):
+    """``monitored_sorted`` stays equal to ``sorted(monitored)``."""
+    candidates = _seeded(internet)
+    collector = FqdnCollector(
+        internet.resolver, internet.catalog.suffixes, internet.catalog.cloud_ips
+    )
+    assert list(collector.monitored_sorted) == []
+    collector.ingest(candidates, T0)
+    assert list(collector.monitored_sorted) == sorted(collector.monitored)
+    azure = internet.catalog.provider("Azure")
+    extra = azure.provision("azure-web-app", "acme-extra", owner="org:acme", at=T0)
+    zone = internet.zones.get_zone("acme.com")
+    zone.add(ResourceRecord("aaa.acme.com", RRType.CNAME, extra.generated_fqdn), T0)
+    collector.ingest(["aaa.acme.com"], T0 + timedelta(weeks=1))
+    assert list(collector.monitored_sorted) == sorted(collector.monitored)
+    assert collector.monitored_sorted[0] == "aaa.acme.com"
+
+
+def test_sorted_view_tracks_reconsider(internet):
+    candidates = _seeded(internet)
+    collector = FqdnCollector(
+        internet.resolver, internet.catalog.suffixes, internet.catalog.cloud_ips
+    )
+    collector.ingest(candidates, T0)
+    azure = internet.catalog.provider("Azure")
+    moved = azure.provision("azure-web-app", "acme-moved2", owner="org:acme", at=T0)
+    zone = internet.zones.get_zone("acme.com")
+    zone.remove_all("self.acme.com", RRType.A, T0)
+    zone.add(ResourceRecord("self.acme.com", RRType.CNAME, moved.generated_fqdn), T0)
+    collector.reconsider(T0 + timedelta(weeks=1))
+    assert list(collector.monitored_sorted) == sorted(collector.monitored)

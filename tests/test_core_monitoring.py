@@ -122,3 +122,44 @@ def test_meta_and_script_features(internet):
     assert "http://141.98.1.1/js/popunder.js" in features.script_srcs
     assert "https://wa.me/+628123" in features.external_urls
     assert features.download_paths == ("/download/app.apk",)
+
+
+def test_sweep_iter_batches_cover_all_fqdns(internet):
+    fqdns = [
+        _victim(internet, name=f"batch{i}")[2]
+        for i in range(5)
+    ]
+    monitor = WeeklyMonitor(internet.client)
+    batches = list(monitor.sweep_iter(fqdns, T0, batch_size=2))
+    assert len(batches) == 3  # 2 + 2 + 1
+    assert monitor.samples_taken == 5
+    # First sweep: every FQDN is a new state, one pair per name in order.
+    changed = [pair for batch in batches for pair in batch]
+    assert [pair[0].fqdn for pair in changed] == fqdns
+
+
+def test_sweep_iter_equivalent_to_sweep(internet):
+    fqdns = [
+        _victim(internet, name=f"equiv{i}")[2]
+        for i in range(4)
+    ]
+    batched_monitor = WeeklyMonitor(internet.client)
+    flat = [
+        pair
+        for batch in batched_monitor.sweep_iter(fqdns, T0, batch_size=3)
+        for pair in batch
+    ]
+    plain_monitor = WeeklyMonitor(internet.client)
+    swept = plain_monitor.sweep(fqdns, T0)
+    assert [p[0].state_key() for p in flat] == [p[0].state_key() for p in swept]
+    assert batched_monitor.samples_taken == plain_monitor.samples_taken
+
+
+def test_sweep_iter_rejects_bad_batch_size(internet):
+    monitor = WeeklyMonitor(internet.client)
+    try:
+        list(monitor.sweep_iter([], T0, batch_size=0))
+    except ValueError as error:
+        assert "batch_size" in str(error)
+    else:  # pragma: no cover
+        raise AssertionError("expected ValueError")

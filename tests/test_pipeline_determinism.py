@@ -1,0 +1,54 @@
+"""Determinism regression tests for the pipeline refactor.
+
+The stage-based engine must be a pure refactor: a fixed seed produces
+the identical abuse dataset it produced when ``run_scenario`` was one
+monolithic loop.  The golden digests below were captured from the
+pre-refactor driver (seed commit) on ``ScenarioConfig.tiny()`` — if
+either changes, a behavioural difference slipped into the pipeline.
+"""
+
+import hashlib
+
+from repro.core.export import dataset_to_json, ground_truth_to_json
+from repro.core.scenario import ScenarioConfig, build_scenario, run_scenario
+
+#: sha256 of ``dataset_to_json(result.dataset, indent=2)`` for
+#: ``ScenarioConfig.tiny()`` under the pre-refactor monolithic loop.
+GOLDEN_DATASET_SHA256 = (
+    "790d381e65cc8179b548ea176df255a64702a8f0a9338746bdc0c53680818272"
+)
+#: sha256 of ``ground_truth_to_json(result.ground_truth, indent=2)``.
+GOLDEN_GROUND_TRUTH_SHA256 = (
+    "ee60bcb3b5a81fcf1bc2107992910b15b00479f03b835b56f59112f39b397b19"
+)
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def test_same_seed_runs_export_identical_datasets():
+    a = run_scenario(ScenarioConfig.tiny())
+    b = run_scenario(ScenarioConfig.tiny())
+    assert dataset_to_json(a.dataset, indent=2) == dataset_to_json(b.dataset, indent=2)
+    assert ground_truth_to_json(a.ground_truth) == ground_truth_to_json(b.ground_truth)
+
+
+def test_pipeline_engine_matches_pre_refactor_golden_output(tiny_result):
+    assert _digest(dataset_to_json(tiny_result.dataset, indent=2)) == (
+        GOLDEN_DATASET_SHA256
+    )
+    assert _digest(ground_truth_to_json(tiny_result.ground_truth, indent=2)) == (
+        GOLDEN_GROUND_TRUTH_SHA256
+    )
+
+
+def test_stepped_engine_matches_run_scenario(tiny_result):
+    """Driving the engine week by week equals the one-shot driver."""
+    engine = build_scenario(ScenarioConfig.tiny())
+    while not engine.clock.finished():
+        engine.step()
+    assert dataset_to_json(engine.payload.dataset, indent=2) == dataset_to_json(
+        tiny_result.dataset, indent=2
+    )
+    assert engine.week_index == tiny_result.weeks_run
