@@ -68,7 +68,8 @@ def test_pipeline_stage_timings(emit):
     emit(
         "pipeline_stage_timings",
         render_table(
-            ["stage", "ticks", "wall s", "mean tick ms", "items", "items/s"],
+            ["stage", "ticks", "wall s", "mean tick ms", "items", "items/s",
+             "retries", "fail+skip", "quarantined"],
             rows,
             title=f"Pipeline stage metrics (tiny, {result.weeks_run} weeks)",
         ),

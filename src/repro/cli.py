@@ -4,6 +4,7 @@
 
     python -m repro run        [--seed N] [--weeks N] [--scale tiny|small|full]
                                [--notify] [--randomize-names] [--export PATH]
+                               [--faults [LEVEL]] [--fault-seed N] [--retries N]
     python -m repro report     [--seed N] [--scale ...]
     python -m repro audit      [--seed N] [--scale ...]
     python -m repro pipeline   [--seed N] [--scale ...]
@@ -12,6 +13,14 @@
 exporting the abuse dataset to JSON); ``report`` adds the per-analysis
 breakdowns; ``audit`` plays the defender and surveys the attack surface;
 ``pipeline`` prints the engine's per-stage timing/throughput table.
+
+Every subcommand accepts the chaos knobs: ``--faults [LEVEL]`` turns on
+deterministic fault injection (default level 0.05), ``--fault-seed N``
+pins the fault streams independently of the world seed, and
+``--retries N`` gives the weekly monitor a transient-failure retry
+budget.  ``pipeline`` additionally prints the resilience summary —
+injected-fault counts, client retries, breaker trips, quarantined
+FQDNs.
 """
 
 from __future__ import annotations
@@ -25,6 +34,8 @@ from repro.core.export import dataset_to_json
 from repro.core.reporting import percent, render_table
 from repro.core.scenario import ScenarioConfig, ScenarioResult, run_scenario
 from repro.core.scoring import score_detector
+from repro.faults.plan import FaultConfig
+from repro.faults.retry import RetryPolicy
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -48,6 +59,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="enable the notification campaign")
         cmd.add_argument("--randomize-names", action="store_true",
                          help="enable the provider-side countermeasure")
+        cmd.add_argument("--faults", nargs="?", const=0.05, type=float,
+                         default=None, metavar="LEVEL",
+                         help="inject deterministic faults at LEVEL "
+                              "intensity (default 0.05 when given bare)")
+        cmd.add_argument("--fault-seed", type=int, default=None,
+                         help="seed the fault streams independently of "
+                              "the world seed")
+        cmd.add_argument("--retries", type=int, default=None, metavar="N",
+                         help="monitor retry budget for transient "
+                              "failures (default: no retries)")
         if name == "run":
             cmd.add_argument("--export", metavar="PATH", default=None,
                              help="write the abuse dataset to a JSON file")
@@ -65,6 +86,12 @@ def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
         config.weeks = args.weeks
     config.notify_owners = args.notify
     config.randomize_names = args.randomize_names
+    if getattr(args, "faults", None) is not None:
+        config.faults = FaultConfig.chaos(
+            level=args.faults, seed=getattr(args, "fault_seed", None)
+        )
+    if getattr(args, "retries", None) is not None:
+        config.monitor.retry = RetryPolicy.standard(max(1, args.retries))
     return config
 
 
@@ -98,13 +125,35 @@ def _print_pipeline(result: ScenarioResult, out) -> None:
     assert metrics is not None, "run_scenario always attaches metrics"
     print(
         render_table(
-            ["stage", "ticks", "wall s", "mean tick ms", "items", "items/s"],
+            ["stage", "ticks", "wall s", "mean tick ms", "items", "items/s",
+             "retries", "fail+skip", "quarantined"],
             metrics.rows(),
             title=f"Pipeline stage metrics ({result.weeks_run} weeks, "
                   f"{metrics.total_wall_time():.2f}s total)",
         ),
         file=out,
     )
+    _print_resilience(result, out)
+
+
+def _print_resilience(result: ScenarioResult, out) -> None:
+    """The chaos-run scorecard: what was injected, what survived it."""
+    if result.fault_plan is None:
+        return
+    client = result.internet.client
+    rows = [(f"injected {kind}", count)
+            for kind, count in result.fault_plan.stats.rows()]
+    rows.extend(
+        [
+            ("client retries", client.retries_total),
+            ("backoff simulated s", f"{client.backoff_seconds_total:.0f}"),
+            ("breaker trips",
+             client.breaker.trips if client.breaker is not None else 0),
+            ("quarantined (dead letters)", len(result.dead_letters)),
+        ]
+    )
+    print(render_table(["event", "count"], rows, title="\nResilience summary"),
+          file=out)
 
 
 def _print_audit(result: ScenarioResult, out) -> None:

@@ -22,6 +22,7 @@ their effect can be measured (see ``benchmarks/bench_countermeasures.py``).
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from datetime import datetime, timedelta
 from typing import Dict, List, Optional, Tuple
 
@@ -97,6 +98,9 @@ class CloudProvider:
         self.reregistration_cooldown = reregistration_cooldown
         self.randomize_names = randomize_names
         self._resolver: Optional[Resolver] = None
+        #: Fault-injection plan shared with servers this provider stands
+        #: up (set post-construction by the Internet when chaos is on).
+        self.fault_plan = None
 
         self._active: Dict[Tuple[str, str], CloudResource] = {}
         self._released_at: Dict[Tuple[str, str], datetime] = {}
@@ -245,7 +249,7 @@ class CloudProvider:
         self, spec: CloudServiceSpec, name: str, owner: str, at: datetime
     ) -> CloudResource:
         resource = CloudResource(spec=spec, name=name, owner=owner, created_at=at)
-        server = dedicated_server(self.name, resource.site)
+        server = dedicated_server(self.name, resource.site, fault_plan=self.fault_plan)
         ip = self.pool.allocate(self._rng)
         self._network.bind(ip, server)
         server.ip = ip
@@ -336,7 +340,14 @@ class CloudProvider:
         if self._resolver is None:
             raise CustomDomainError("provider has no resolver attached")
         fqdn = normalize_name(fqdn)
-        result = self._resolver.resolve_a_with_chain(fqdn, at=at)
+        # The provider verifies through its own resolvers, not the flaky
+        # measurement path — chaos injection never fails this check.
+        guard = (
+            self.fault_plan.suppressed() if self.fault_plan is not None
+            else nullcontext()
+        )
+        with guard:
+            result = self._resolver.resolve_a_with_chain(fqdn, at=at)
         if resource.generated_fqdn not in result.cname_chain:
             raise CustomDomainError(
                 f"{fqdn} does not CNAME to {resource.generated_fqdn}"

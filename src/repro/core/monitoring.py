@@ -19,6 +19,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.keywords import extract_keywords
 from repro.dns.names import Name
+from repro.faults.retry import RetryPolicy
 from repro.web.client import FetchStatus, HttpClient
 from repro.web.html import parse_html
 from repro.web.sitemap import parse_sitemap
@@ -27,6 +28,18 @@ from repro.web.sitemap import parse_sitemap
 #: way search spiders do, which is also why cloaked content (served to
 #: crawlers) is visible to the pipeline.
 MONITOR_USER_AGENT = "repro-monitor/1.0 (research crawler)"
+
+#: Final fetch statuses the sweep treats as transient measurement
+#: failures — the FQDN's state this week is *unknown*, not dangling, so
+#: the pipeline quarantines the sample instead of trusting it.
+TRANSIENT_SAMPLE_STATUSES = frozenset(
+    {
+        FetchStatus.TIMEOUT.value,
+        FetchStatus.HTTP_ERROR.value,
+        FetchStatus.CONNECTION_RESET.value,
+        FetchStatus.CIRCUIT_OPEN.value,
+    }
+)
 
 
 @dataclass
@@ -43,6 +56,10 @@ class MonitorConfig:
     #: Batch size for :meth:`WeeklyMonitor.sweep_iter` — the unit of
     #: work a parallel executor will shard across workers.
     sweep_batch_size: int = 256
+    #: Retry budget for the monitor's own fetches (index + sitemap).
+    #: The default (one attempt, no retries) is the pre-resilience
+    #: behaviour; chaos runs raise it to ride out transient faults.
+    retry: RetryPolicy = field(default_factory=RetryPolicy.none)
 
 
 @dataclass(frozen=True)
@@ -72,6 +89,9 @@ class SnapshotFeatures:
     sitemap_size: int = -1  # -1: not fetched / unavailable
     sitemap_count: int = -1
     sitemap_sample: Tuple[str, ...] = ()
+    #: Fetch attempts the index sample took (1 = first try; excluded
+    #: from :meth:`state_key` so retries never fabricate new states).
+    attempts: int = 1
 
     @property
     def reachable(self) -> bool:
@@ -154,6 +174,10 @@ class WeeklyMonitor:
         self.config = config or MonitorConfig()
         self.samples_taken = 0
         self.sitemap_fetches = 0
+        #: (fqdn, fetch_status) pairs whose *final* sample this sweep
+        #: still ended in a transient failure — retries exhausted.  The
+        #: pipeline's sweep stage turns these into quarantine records.
+        self.last_sweep_failures: List[Tuple[Name, str]] = []
 
     def sweep(
         self, fqdns: Sequence[Name], at: datetime
@@ -183,10 +207,17 @@ class WeeklyMonitor:
         size = batch_size if batch_size is not None else self.config.sweep_batch_size
         if size <= 0:
             raise ValueError(f"batch_size must be positive, got {size}")
+        self.last_sweep_failures = []
         for start in range(0, len(fqdns), size):
             changed: List[Tuple[SnapshotFeatures, Optional[SnapshotFeatures]]] = []
             for fqdn in fqdns[start:start + size]:
                 features = self.sample(fqdn, at)
+                if features.fetch_status in TRANSIENT_SAMPLE_STATUSES:
+                    # Retries exhausted and the state is still unknown:
+                    # keep the last trusted state instead of recording a
+                    # phantom change, and hand the FQDN to quarantine.
+                    self.last_sweep_failures.append((fqdn, features.fetch_status))
+                    continue
                 is_new, previous = self.store.record(features)
                 if is_new:
                     changed.append((features, previous))
@@ -196,7 +227,10 @@ class WeeklyMonitor:
         """One weekly sample: index fetch, plus sitemap when warranted."""
         self.samples_taken += 1
         headers = {"User-Agent": self.config.user_agent}
-        outcome = self._client.fetch(fqdn, path="/", scheme="http", at=at, headers=headers)
+        outcome = self._client.fetch(
+            fqdn, path="/", scheme="http", at=at, headers=headers,
+            retry=self.config.retry,
+        )
         resolution = outcome.resolution
         features = SnapshotFeatures(
             fqdn=fqdn,
@@ -205,8 +239,13 @@ class WeeklyMonitor:
             cname_chain=tuple(resolution.cname_chain) if resolution else (),
             addresses=tuple(resolution.addresses) if resolution else (),
             fetch_status=outcome.status.value,
+            attempts=outcome.attempts,
         )
         if not outcome.ok:
+            if outcome.response is not None:
+                # 5xx/429: record the code so the error class survives
+                # into the stored state even though no body is trusted.
+                features = replace(features, http_status=outcome.response.status)
             return features
         body = outcome.response.body
         body_hash = hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
@@ -221,6 +260,7 @@ class WeeklyMonitor:
                 cname_chain=features.cname_chain,
                 addresses=features.addresses,
                 fetch_status=features.fetch_status,
+                attempts=features.attempts,
             )
         else:
             features = self._with_html_features(features, outcome.response.status, body)
@@ -273,7 +313,8 @@ class WeeklyMonitor:
     ) -> SnapshotFeatures:
         self.sitemap_fetches += 1
         outcome = self._client.fetch(
-            fqdn, path="/sitemap.xml", scheme="http", at=at, headers=headers
+            fqdn, path="/sitemap.xml", scheme="http", at=at, headers=headers,
+            retry=self.config.retry,
         )
         if not outcome.ok:
             return features

@@ -16,6 +16,7 @@ enabling the precision/recall scoring the paper itself could not do.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
 from typing import List, Optional
@@ -40,6 +41,9 @@ from repro.core.stages import (
     WorldStage,
     candidate_names,
 )
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.faults.retry import CircuitBreaker, RetryPolicy
+from repro.pipeline.context import QuarantineRecord
 from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.metrics import PipelineMetrics
 from repro.sim.clock import DEFAULT_START, SimClock
@@ -77,6 +81,13 @@ class ScenarioConfig:
     #: Run the notification campaign: newly detected abuses trigger
     #: victim notifications, accelerating remediation (Section 1).
     notify_owners: bool = False
+    #: Deterministic fault injection (chaos runs); quiescent by default.
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Consecutive failures before an edge's circuit trips; the breaker
+    #: half-opens after one simulated week.
+    breaker_threshold: int = 5
+    #: Retry budget for a stage tick that raises (1 = fail immediately).
+    stage_retry_attempts: int = 1
 
     @classmethod
     def tiny(cls, seed: int = 42) -> "ScenarioConfig":
@@ -131,6 +142,10 @@ class ScenarioResult:
     weeks_run: int = 0
     #: Per-stage instrumentation of the run (set by ``run_scenario``).
     metrics: Optional[PipelineMetrics] = None
+    #: The fault plan driving chaos runs (``None`` = healthy Internet).
+    fault_plan: Optional[FaultPlan] = None
+    #: Dead-letter log of quarantined FQDNs / failed stage ticks.
+    dead_letters: List[QuarantineRecord] = field(default_factory=list)
 
     @property
     def dataset(self) -> AbuseDataset:
@@ -153,37 +168,62 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
     config = config or ScenarioConfig()
     streams = RngStreams(config.seed)
     clock = SimClock(config.start, config.start + timedelta(weeks=config.weeks))
-    internet = Internet(
-        streams,
-        clock,
-        edge_icmp_drop_rate=config.edge_icmp_drop_rate,
-        reregistration_cooldown=config.reregistration_cooldown,
-        randomize_names=config.randomize_names,
-    )
-    builder = PopulationBuilder(internet)
-    organizations = builder.build(config.population, clock.now)
-    ground_truth = GroundTruthLog()
-    engine = WorldEngine(
-        internet, organizations, builder, config.population, ground_truth,
-        config.lifecycle,
-    )
-    groups = make_default_groups(
-        streams, internet.shortener, config.attacker_groups, config.syndicate_cells
-    )
-    orchestrator = CampaignOrchestrator(internet, groups, ground_truth, organizations)
-    monetization = MonetizationEcosystem(streams.get("monetization"))
-    users = UserPopulation(
-        internet.client, streams.get("users"), monetization=monetization
-    )
-    user_rng = streams.get("user-assignment")
-    for org in organizations:
-        if user_rng.random() < config.user_org_share:
-            users.add_users_for_org(org, config.users_per_org, clock.now)
+    fault_plan = None
+    breaker = None
+    if config.faults.enabled:
+        # One seed replays the whole storm: the fault streams derive
+        # from the scenario seed unless an independent fault seed pins
+        # the weather while the world varies.
+        fault_streams = (
+            RngStreams(config.faults.fault_seed)
+            if config.faults.fault_seed is not None
+            else streams.fork("faults")
+        )
+        fault_plan = FaultPlan(config.faults, fault_streams)
+        breaker = CircuitBreaker(failure_threshold=config.breaker_threshold)
+    # The world is built on a healthy Internet — chaos begins only once
+    # the weekly pipeline starts ticking.  This keeps the bootstrap
+    # (population, initial collector ingest) identical between chaos
+    # and fault-free runs of the same world seed.
+    build_guard = fault_plan.suppressed() if fault_plan is not None else nullcontext()
+    with build_guard:
+        internet = Internet(
+            streams,
+            clock,
+            edge_icmp_drop_rate=config.edge_icmp_drop_rate,
+            reregistration_cooldown=config.reregistration_cooldown,
+            randomize_names=config.randomize_names,
+            fault_plan=fault_plan,
+            breaker=breaker,
+        )
+        builder = PopulationBuilder(internet)
+        organizations = builder.build(config.population, clock.now)
+        ground_truth = GroundTruthLog()
+        engine = WorldEngine(
+            internet, organizations, builder, config.population, ground_truth,
+            config.lifecycle,
+        )
+        groups = make_default_groups(
+            streams, internet.shortener, config.attacker_groups,
+            config.syndicate_cells,
+        )
+        orchestrator = CampaignOrchestrator(
+            internet, groups, ground_truth, organizations
+        )
+        monetization = MonetizationEcosystem(streams.get("monetization"))
+        users = UserPopulation(
+            internet.client, streams.get("users"), monetization=monetization
+        )
+        user_rng = streams.get("user-assignment")
+        for org in organizations:
+            if user_rng.random() < config.user_org_share:
+                users.add_users_for_org(org, config.users_per_org, clock.now)
 
-    collector = FqdnCollector(
-        internet.resolver, internet.catalog.suffixes, internet.catalog.cloud_ips
-    )
-    collector.ingest(candidate_names(internet, organizations), clock.now)
+        collector = FqdnCollector(
+            internet.resolver, internet.catalog.suffixes,
+            internet.catalog.cloud_ips,
+        )
+        collector.ingest(candidate_names(internet, organizations), clock.now)
     monitor = WeeklyMonitor(internet.client, config=config.monitor)
     detector = AbuseDetector(monitor.store, config.detector, whois=internet.whois)
 
@@ -201,7 +241,7 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
         ground_truth=ground_truth, groups=groups, orchestrator=orchestrator,
         engine=engine, collector=collector, monitor=monitor, detector=detector,
         users=users, harvester=harvester, notifications=notifications,
-        monetization=monetization,
+        monetization=monetization, fault_plan=fault_plan,
     )
 
     stages = [
@@ -217,7 +257,13 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
         NotifyStage(notifications),
         HarvestStage(harvester, detector, monitor),
     ]
-    return PipelineEngine(stages, clock, streams, payload=result)
+    return PipelineEngine(
+        stages, clock, streams, payload=result,
+        stage_retry=RetryPolicy(max_attempts=max(1, config.stage_retry_attempts)),
+        # The weekly loop must survive a hostile Internet: a failing
+        # stage dead-letters its tick, it never aborts the run.
+        on_stage_error="degrade",
+    )
 
 
 def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
@@ -227,4 +273,5 @@ def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
     result: ScenarioResult = pipeline.payload
     result.weeks_run = pipeline.week_index
     result.metrics = pipeline.metrics
+    result.dead_letters = pipeline.dead_letters
     return result

@@ -121,7 +121,13 @@ class CollectorRefreshStage(Stage):
 
 
 class MonitorSweepStage(Stage):
-    """Weekly sampling of every monitored FQDN, in fixed-size batches."""
+    """Weekly sampling of every monitored FQDN, in fixed-size batches.
+
+    FQDNs whose final sample still ended in a transient failure after
+    the monitor's retry budget are dead-lettered onto the context's
+    quarantine instead of polluting the state store — the week's sweep
+    degrades to the reachable subset rather than aborting.
+    """
 
     name = "monitor-sweep"
     provides = (CHANGED_PAIRS,)
@@ -135,6 +141,8 @@ class MonitorSweepStage(Stage):
         changed: List = []
         for batch_changed in self._monitor.sweep_iter(fqdns, ctx.at):
             changed.extend(batch_changed)
+        for fqdn, status in self._monitor.last_sweep_failures:
+            ctx.quarantine_item(fqdn, f"retries exhausted ({status})")
         ctx.put(CHANGED_PAIRS, changed)
         return len(fqdns)
 

@@ -32,6 +32,9 @@ class ResolutionStatus(enum.Enum):
     NXDOMAIN = "NXDOMAIN"
     NODATA = "NODATA"
     SERVFAIL = "SERVFAIL"
+    #: The query never came back (transient resolver/path failure) —
+    #: only ever produced by an injected fault, never by zone state.
+    TIMEOUT = "TIMEOUT"
 
 
 @dataclass
@@ -62,11 +65,24 @@ class ResolutionResult:
 
 
 class Resolver:
-    """A recursive resolver over a :class:`ZoneRegistry`."""
+    """A recursive resolver over a :class:`ZoneRegistry`.
 
-    def __init__(self, zones: ZoneRegistry, passive_dns: Optional[PassiveDNS] = None):
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`, duck-typed) lets
+    a chaos run inject transient SERVFAILs and timeouts *before* zone
+    lookup — the flaky-recursive behaviour a longitudinal pipeline must
+    survive.  Injected failures record no passive-DNS observations, as
+    a real failed query would not.
+    """
+
+    def __init__(
+        self,
+        zones: ZoneRegistry,
+        passive_dns: Optional[PassiveDNS] = None,
+        fault_plan=None,
+    ):
         self._zones = zones
         self._passive_dns = passive_dns
+        self.fault_plan = fault_plan
 
     def resolve(
         self, qname: Name, qtype: RRType = RRType.A, at: Optional[datetime] = None
@@ -77,6 +93,15 @@ class Resolver:
         passive DNS feed, observations are recorded.
         """
         qname = normalize_name(qname)
+        if self.fault_plan is not None:
+            fault = self.fault_plan.dns_fault(str(qname))
+            if fault is not None:
+                status = (
+                    ResolutionStatus.TIMEOUT
+                    if fault == "timeout"
+                    else ResolutionStatus.SERVFAIL
+                )
+                return ResolutionResult(qname, qtype, status)
         chain: List[Name] = []
         current = qname
         seen = {current}

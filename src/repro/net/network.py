@@ -30,10 +30,17 @@ class Host(Protocol):
 
 
 class Network:
-    """IP-to-host bindings for the simulated Internet."""
+    """IP-to-host bindings for the simulated Internet.
 
-    def __init__(self) -> None:
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`, duck-typed) is
+    consulted by the transport probers and the HTTP client to inject
+    connection resets and ICMP blackouts on the path to a bound host —
+    the host itself stays healthy; only this traversal is faulty.
+    """
+
+    def __init__(self, fault_plan=None) -> None:
         self._hosts: Dict[str, Host] = {}
+        self.fault_plan = fault_plan
 
     def bind(self, ip: str, host: Host) -> None:
         """Attach ``host`` at ``ip``; rebinding an address is an error."""

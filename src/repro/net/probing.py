@@ -39,6 +39,10 @@ class ProbeResult:
 
 def icmp_ping(network: Network, ip: str) -> ProbeResult:
     """Send a simulated ICMP echo request to ``ip``."""
+    if network.fault_plan is not None and network.fault_plan.icmp_blackout(ip):
+        return ProbeResult(
+            ip=ip, responsive=False, method="icmp", detail="blackout (injected)"
+        )
     host = network.host_at(ip)
     responsive = host is not None and host.responds_to_icmp()
     detail = "" if host is not None else "no host bound"
@@ -47,6 +51,10 @@ def icmp_ping(network: Network, ip: str) -> ProbeResult:
 
 def tcp_probe(network: Network, ip: str, port: int) -> ProbeResult:
     """Attempt a simulated TCP handshake with ``ip:port``."""
+    if network.fault_plan is not None and network.fault_plan.connection_reset(ip):
+        return ProbeResult(
+            ip=ip, responsive=False, method=f"tcp/{port}", detail="reset (injected)"
+        )
     host = network.host_at(ip)
     responsive = host is not None and port in host.open_tcp_ports()
     return ProbeResult(ip=ip, responsive=responsive, method=f"tcp/{port}")
@@ -58,6 +66,10 @@ def tcp_probe_any(network: Network, ip: str, ports: Iterable[int]) -> ProbeResul
     This is the aggregation rule prior work used: a record is "live" if
     the IP answers on at least one probed port.
     """
+    if network.fault_plan is not None and network.fault_plan.connection_reset(ip):
+        return ProbeResult(
+            ip=ip, responsive=False, method="tcp-any", detail="reset (injected)"
+        )
     host = network.host_at(ip)
     open_port: Optional[int] = None
     if host is not None:

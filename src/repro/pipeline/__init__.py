@@ -15,7 +15,7 @@ profiled (the metrics registry), or resumed mid-run (checkpoints),
 without touching the rest of the pipeline.
 """
 
-from repro.pipeline.context import MissingOutputError, WeekContext
+from repro.pipeline.context import MissingOutputError, QuarantineRecord, WeekContext
 from repro.pipeline.engine import (
     Checkpoint,
     PipelineEngine,
@@ -30,6 +30,7 @@ __all__ = [
     "MissingOutputError",
     "PipelineEngine",
     "PipelineMetrics",
+    "QuarantineRecord",
     "Stage",
     "StageGraphError",
     "StageMetrics",

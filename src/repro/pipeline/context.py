@@ -5,15 +5,34 @@ the week index, the run's RNG streams, and a keyed output board where
 stages publish what downstream stages consume (``changed_pairs``,
 ``changes``, ``newly_flagged`` …).  The board is cleared between weeks
 so stages cannot accidentally read stale state from a previous tick.
+
+The context also carries the week's *quarantine*: dead-letter records
+for items (FQDNs, stage ticks) that exhausted their retries.  A failing
+item degrades to a quarantine record instead of aborting the week; the
+engine accumulates these across weeks for reporting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import datetime
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One dead-lettered item: what failed, where, and why.
+
+    ``item`` is the failed unit — an FQDN for measurement failures, or
+    the sentinel ``"<stage-tick>"`` when a whole stage tick failed.
+    """
+
+    week_index: int
+    stage: str
+    item: str
+    reason: str
 
 
 class MissingOutputError(KeyError):
@@ -39,6 +58,8 @@ class WeekContext:
     #: Name of the stage currently ticking (set by the engine; used to
     #: attribute :class:`MissingOutputError` and items-processed counts).
     current_stage: str = ""
+    #: This week's dead-letter records (drained by the engine weekly).
+    quarantine: List[QuarantineRecord] = field(default_factory=list)
 
     def put(self, key: str, value: Any) -> None:
         """Publish an inter-stage output for this week."""
@@ -58,6 +79,21 @@ class WeekContext:
 
     def has(self, key: str) -> bool:
         return key in self.outputs
+
+    def quarantine_item(self, item: Any, reason: str) -> None:
+        """Dead-letter ``item``: processing it failed after all retries.
+
+        The record is attributed to the currently-ticking stage; the
+        week continues without the item (graceful degradation).
+        """
+        self.quarantine.append(
+            QuarantineRecord(
+                week_index=self.week_index,
+                stage=self.current_stage,
+                item=str(item),
+                reason=reason,
+            )
+        )
 
     def clear(self) -> None:
         """Drop all outputs (called by the engine between weeks)."""

@@ -24,6 +24,13 @@ class StageMetrics:
     items_processed: int = 0
     setup_time: float = 0.0
     finish_time: float = 0.0
+    #: Resilience counters: tick re-runs after an exception, ticks that
+    #: exhausted retries and were dead-lettered, ticks skipped because
+    #: an upstream stage failed, and items quarantined by the stage.
+    retries: int = 0
+    failures: int = 0
+    skips: int = 0
+    quarantined: int = 0
 
     @property
     def total_time(self) -> float:
@@ -64,6 +71,35 @@ class PipelineMetrics:
     def record_finish(self, name: str, seconds: float) -> None:
         self.stage(name).finish_time += seconds
 
+    def record_retry(self, name: str, seconds: float = 0.0) -> None:
+        """A tick attempt failed and will be re-run."""
+        row = self.stage(name)
+        row.retries += 1
+        row.wall_time += seconds
+
+    def record_failure(self, name: str, seconds: float = 0.0) -> None:
+        """A tick exhausted its retries and was dead-lettered."""
+        row = self.stage(name)
+        row.failures += 1
+        row.wall_time += seconds
+
+    def record_skip(self, name: str) -> None:
+        """A tick was skipped because an upstream dependency failed."""
+        self.stage(name).skips += 1
+
+    def record_quarantine(self, name: str, items: int = 1) -> None:
+        """The stage dead-lettered ``items`` work items this week."""
+        self.stage(name).quarantined += items
+
+    def total_retries(self) -> int:
+        return sum(row.retries for row in self._stages.values())
+
+    def total_failures(self) -> int:
+        return sum(row.failures for row in self._stages.values())
+
+    def total_quarantined(self) -> int:
+        return sum(row.quarantined for row in self._stages.values())
+
     def stages(self) -> List[StageMetrics]:
         """Rows in registration (= pipeline) order."""
         return list(self._stages.values())
@@ -71,8 +107,9 @@ class PipelineMetrics:
     def total_wall_time(self) -> float:
         return sum(row.total_time for row in self._stages.values())
 
-    def rows(self) -> List[Tuple[str, int, str, str, int, str]]:
-        """Render-ready rows: (stage, ticks, wall s, mean tick ms, items, items/s)."""
+    def rows(self) -> List[Tuple[str, int, str, str, int, str, int, int, int]]:
+        """Render-ready rows: (stage, ticks, wall s, mean tick ms, items,
+        items/s, retries, failures+skips, quarantined)."""
         return [
             (
                 row.name,
@@ -81,6 +118,9 @@ class PipelineMetrics:
                 f"{row.mean_tick_ms:.2f}",
                 row.items_processed,
                 f"{row.items_per_second:,.0f}" if row.items_per_second else "-",
+                row.retries,
+                row.failures + row.skips,
+                row.quarantined,
             )
             for row in self._stages.values()
         ]

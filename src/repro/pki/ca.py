@@ -18,6 +18,7 @@ the CT log.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from datetime import datetime, timedelta
 from typing import Callable, Optional, Sequence
 
@@ -161,7 +162,12 @@ class CertificateAuthority:
         path = CHALLENGE_PREFIX + token
         if not install_challenge(san, path, body):
             raise IssuanceError(f"{san}: requester could not install challenge")
-        outcome = self._client.fetch(san, path=path, scheme="http", at=at)
+        # The CA fetches over its own egress, not the flaky measurement
+        # path — chaos injection never fails a challenge fetch.
+        plan = getattr(self._client, "fault_plan", None)
+        guard = plan.suppressed() if plan is not None else nullcontext()
+        with guard:
+            outcome = self._client.fetch(san, path=path, scheme="http", at=at)
         if not outcome.ok:
             raise IssuanceError(f"{san}: challenge fetch failed ({outcome.status.value})")
         if outcome.response.body != body:

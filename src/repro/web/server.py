@@ -56,6 +56,7 @@ class VirtualHostServer:
         provider_name: str,
         icmp: bool = True,
         default_site: Optional[Site] = None,
+        fault_plan=None,
     ):
         self.provider_name = provider_name
         #: The address this server is bound at, set by whoever binds it.
@@ -64,6 +65,10 @@ class VirtualHostServer:
         self._routes: Dict[str, Site] = {}
         self._certificates: Dict[str, object] = {}
         self._default_site = default_site
+        #: Optional :class:`repro.faults.FaultPlan` (duck-typed): when
+        #: set, the edge occasionally answers with transient 503/429
+        #: pages — overload and rate-limiting, regardless of routing.
+        self.fault_plan = fault_plan
 
     # -- net.Host protocol -----------------------------------------------------
 
@@ -109,12 +114,32 @@ class VirtualHostServer:
 
     def serve(self, request: HttpRequest) -> HttpResponse:
         """Route the request by Host header; unknown hosts get the 404 page."""
+        if self.fault_plan is not None:
+            fault = self.fault_plan.http_fault(self.provider_name, request.host)
+            if fault == "503":
+                return HttpResponse(
+                    status=503,
+                    body="503 Service Unavailable (transient edge overload)",
+                    content_type="text/plain",
+                    headers={"X-Provider": self.provider_name, "Retry-After": "2"},
+                )
+            if fault == "429":
+                return HttpResponse(
+                    status=429,
+                    body="429 Too Many Requests",
+                    content_type="text/plain",
+                    headers={"X-Provider": self.provider_name, "Retry-After": "60"},
+                )
         site = self.site_for(request.host)
         if site is None:
             return provider_404(self.provider_name, resource_hint=request.host)
         return site.handle(request)
 
 
-def dedicated_server(provider_name: str, site: Site, icmp: bool = True) -> VirtualHostServer:
+def dedicated_server(
+    provider_name: str, site: Site, icmp: bool = True, fault_plan=None
+) -> VirtualHostServer:
     """A single-tenant server (cloud VM): every Host header hits ``site``."""
-    return VirtualHostServer(provider_name, icmp=icmp, default_site=site)
+    return VirtualHostServer(
+        provider_name, icmp=icmp, default_site=site, fault_plan=fault_plan
+    )

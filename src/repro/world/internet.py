@@ -18,6 +18,7 @@ from repro.content.benign import BenignContentFactory
 from repro.dns.passive_dns import PassiveDNS
 from repro.dns.resolver import Resolver
 from repro.dns.zone import ZoneRegistry
+from repro.faults.retry import CircuitBreaker
 from repro.intel.darknet import DarknetFeed
 from repro.intel.shorteners import UrlShortener
 from repro.intel.virustotal import VirusTotalService
@@ -55,14 +56,19 @@ class Internet:
         edge_icmp_drop_rate: float = 0.28,
         reregistration_cooldown: timedelta = timedelta(0),
         randomize_names: bool = False,
+        fault_plan=None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.streams = streams
         self.clock = clock if clock is not None else SimClock()
         self.events = EventLog()
+        #: The shared fault-injection plan (``None`` = fully healthy
+        #: Internet — byte-identical to the pre-faults behaviour).
+        self.faults = fault_plan
         self.zones = ZoneRegistry()
-        self.network = Network()
+        self.network = Network(fault_plan=fault_plan)
         self.passive_dns = PassiveDNS()
-        self.resolver = Resolver(self.zones, self.passive_dns)
+        self.resolver = Resolver(self.zones, self.passive_dns, fault_plan=fault_plan)
         self.catalog: CloudCatalog = build_catalog(
             self.zones,
             self.network,
@@ -73,7 +79,18 @@ class Internet:
             randomize_names=randomize_names,
         )
         self.catalog.attach_resolver(self.resolver)
-        self.client = HttpClient(self.resolver, self.network)
+        if fault_plan is not None:
+            # Edge-side HTTP faults: every provider edge (and every
+            # dedicated server provisioned later) shares the plan.
+            for provider in self.catalog.providers.values():
+                provider.fault_plan = fault_plan
+                for edge in provider.edges:
+                    edge.fault_plan = fault_plan
+        if breaker is None and fault_plan is not None:
+            breaker = CircuitBreaker()
+        self.client = HttpClient(
+            self.resolver, self.network, fault_plan=fault_plan, breaker=breaker
+        )
         self.whois = DomainRegistry()
         self.ct_log = CTLog()
         self.cas: Dict[str, CertificateAuthority] = {}

@@ -1,10 +1,16 @@
 """Tests for the weekly monitor and snapshot store."""
 
+import random
 from datetime import datetime, timedelta
 
-from repro.core.monitoring import SnapshotStore, WeeklyMonitor
+from repro.core.monitoring import MonitorConfig, SnapshotStore, WeeklyMonitor
 from repro.dns.records import RRType, ResourceRecord
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams
 from repro.web.sitemap import Sitemap
+from repro.world.internet import Internet
 
 T0 = datetime(2020, 1, 6)
 
@@ -163,3 +169,110 @@ def test_sweep_iter_rejects_bad_batch_size(internet):
         assert "batch_size" in str(error)
     else:  # pragma: no cover
         raise AssertionError("expected ValueError")
+
+
+def test_sweep_iter_batch_size_one(internet):
+    fqdns = [_victim(internet, name=f"one{i}")[2] for i in range(3)]
+    monitor = WeeklyMonitor(internet.client)
+    batches = list(monitor.sweep_iter(fqdns, T0, batch_size=1))
+    assert len(batches) == 3
+    assert all(len(batch) == 1 for batch in batches)
+    assert monitor.samples_taken == 3
+
+
+def test_sweep_iter_exact_multiple_has_no_ragged_batch(internet):
+    fqdns = [_victim(internet, name=f"mult{i}")[2] for i in range(6)]
+    monitor = WeeklyMonitor(internet.client)
+    batches = list(monitor.sweep_iter(fqdns, T0, batch_size=3))
+    assert [len(batch) for batch in batches] == [3, 3]
+
+
+def test_sweep_iter_batch_larger_than_input(internet):
+    fqdns = [_victim(internet, name=f"big{i}")[2] for i in range(2)]
+    monitor = WeeklyMonitor(internet.client)
+    batches = list(monitor.sweep_iter(fqdns, T0, batch_size=100))
+    assert len(batches) == 1
+    assert len(batches[0]) == 2
+
+
+def test_sweep_iter_empty_input_yields_nothing(internet):
+    monitor = WeeklyMonitor(internet.client)
+    assert list(monitor.sweep_iter([], T0, batch_size=4)) == []
+    assert monitor.samples_taken == 0
+
+
+# -- sampling under injected faults ---------------------------------------
+
+
+def _chaos_internet(**rates) -> Internet:
+    plan = FaultPlan.from_seed(FaultConfig(enabled=True, **rates), 1)
+    return Internet(RngStreams(7), SimClock(), fault_plan=plan)
+
+
+def test_sample_under_injected_servfail_loses_chain(internet):
+    # A SERVFAIL injected at the resolver fires before the zone walk:
+    # the sample carries no CNAME chain and an unreachable status.
+    chaos = _chaos_internet(dns_servfail_rate=1.0)
+    _, resource, fqdn = _victim(chaos)  # provisioning is suppressed chaos
+    features = WeeklyMonitor(chaos.client).sample(fqdn, T0)
+    assert features.dns_status == "SERVFAIL"
+    assert features.fetch_status == "dns-error"
+    assert not features.reachable
+    assert features.cname_chain == ()
+
+
+class _ServfailOncePlan:
+    """Stub plan: SERVFAILs the first resolution, then behaves."""
+
+    def __init__(self):
+        self.calls = 0
+        self.retry_rng = random.Random(0)
+        self.active = True
+
+    def dns_fault(self, qname):
+        self.calls += 1
+        return "servfail" if self.calls == 1 else None
+
+    def connection_reset(self, ip):
+        return False
+
+    def icmp_blackout(self, ip):
+        return False
+
+    def http_fault(self, provider, host):
+        return None
+
+    def truncated_body(self, host):
+        return False
+
+    def suppressed(self):
+        from contextlib import nullcontext
+        return nullcontext()
+
+
+def test_retry_rides_out_injected_servfail_and_keeps_chain(internet):
+    _, resource, fqdn = _victim(internet, name="flaky")
+    internet.resolver.fault_plan = _ServfailOncePlan()
+    internet.client.fault_plan = internet.resolver.fault_plan
+    monitor = WeeklyMonitor(
+        internet.client, config=MonitorConfig(retry=RetryPolicy.standard(3))
+    )
+    features = monitor.sample(fqdn, T0)
+    # The second attempt resolved cleanly: full chain, reachable, and
+    # the attempt count is preserved on the snapshot.
+    assert features.reachable
+    assert resource.generated_fqdn in features.cname_chain
+    assert features.attempts == 2
+
+
+def test_sweep_quarantines_exhausted_transient_failures():
+    chaos = _chaos_internet(connection_reset_rate=1.0)
+    _, _, bad = _victim(chaos)
+    monitor = WeeklyMonitor(
+        chaos.client, config=MonitorConfig(retry=RetryPolicy.standard(2))
+    )
+    batches = list(monitor.sweep_iter([bad], T0, batch_size=2))
+    # The reset-forever FQDN never enters the store: no phantom state.
+    assert batches == [[]]
+    assert monitor.last_sweep_failures == [(bad, "connection-reset")]
+    assert monitor.store.latest(bad) is None
