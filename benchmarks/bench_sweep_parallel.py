@@ -1,0 +1,221 @@
+"""Serial-vs-N-worker sweep throughput (the parallel executor baseline).
+
+One deterministic world is run once per executor variant — the serial
+baseline (``workers=1``) and the sharded :class:`ProcessExecutor` at 2
+and 4 workers — and the monitor-sweep stage's :class:`PipelineMetrics`
+row gives each variant's sweep wall time and FQDN throughput.  Because
+fault-free parallel runs merge in shard order, every variant must also
+export a byte-identical dataset; the bench asserts it, so the
+throughput table doubles as an end-to-end determinism check.
+
+Runs two ways:
+
+* under pytest (``pytest benchmarks/bench_sweep_parallel.py``): the
+  laptop-fast small scenario, emitting ``benchmarks/results/``;
+* standalone (``python benchmarks/bench_sweep_parallel.py``): the
+  paper-scale default scenario (the acceptance run — ≥ 2× sweep
+  throughput at 4 workers), or ``--quick`` for the small one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pathlib
+import subprocess
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.export import dataset_to_json
+from repro.core.reporting import render_table
+from repro.core.scenario import ScenarioConfig, run_scenario
+from repro.parallel.executor import ProcessExecutor
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Worker counts measured, serial baseline first.
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _config(scale: str, workers: int, weeks: Optional[int]) -> ScenarioConfig:
+    if scale == "tiny":
+        config = ScenarioConfig.tiny()
+    elif scale == "small":
+        config = ScenarioConfig.small()
+    else:
+        config = ScenarioConfig()
+    if weeks is not None:
+        config.weeks = weeks
+    config.workers = workers
+    return config
+
+
+def run_variant(scale: str, workers: int, weeks: Optional[int]) -> Dict:
+    """One full scenario run; sweep cost read off the stage metrics."""
+    result = run_scenario(_config(scale, workers, weeks))
+    sweep = result.metrics.stage("monitor-sweep")
+    executor = result.executor
+    cache_hits = cache_misses = 0
+    mode = "serial"
+    if isinstance(executor, ProcessExecutor):
+        cache_hits = executor.extraction_cache.hits
+        cache_misses = executor.extraction_cache.misses
+        mode = executor.last_mode or "inline"
+    return {
+        "workers": workers,
+        "mode": mode,
+        "wall_s": sweep.wall_time,
+        "items": sweep.items_processed,
+        "throughput": sweep.items_per_second,
+        "cache_hits": cache_hits,
+        "cache_misses": cache_misses,
+        "digest": hashlib.sha256(
+            dataset_to_json(result.dataset, indent=2).encode("utf-8")
+        ).hexdigest(),
+        "weeks": result.weeks_run,
+    }
+
+
+def measure(scale: str, weeks: Optional[int] = None,
+            worker_counts: Sequence[int] = WORKER_COUNTS) -> List[Dict]:
+    runs = [run_variant(scale, workers, weeks) for workers in worker_counts]
+    # Fault-free sharded runs merge deterministically: every worker
+    # count must export the byte-identical dataset.
+    digests = {run["digest"] for run in runs}
+    assert len(digests) == 1, f"export digests diverged across workers: {digests}"
+    return runs
+
+
+def measure_isolated(scale: str, weeks: Optional[int] = None,
+                     worker_counts: Sequence[int] = WORKER_COUNTS) -> List[Dict]:
+    """Like :func:`measure`, but each variant runs in a fresh interpreter.
+
+    Back-to-back variants in one process are not measured under equal
+    conditions: the later runs inherit a grown heap and GC pressure from
+    the earlier ones and read 10-20% slower for identical work.  A
+    subprocess per variant gives every worker count the same cold start,
+    which is what a fair serial-vs-sharded comparison needs.
+    """
+    script = pathlib.Path(__file__).resolve()
+    env = dict(os.environ)
+    src = str(script.parents[1] / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    runs: List[Dict] = []
+    for workers in worker_counts:
+        cmd = [sys.executable, str(script),
+               "--variant", str(workers), "--scale", scale]
+        if weeks is not None:
+            cmd += ["--weeks", str(weeks)]
+        proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"bench variant workers={workers} failed:\n{proc.stderr}"
+            )
+        runs.append(json.loads(proc.stdout.splitlines()[-1]))
+    digests = {run["digest"] for run in runs}
+    assert len(digests) == 1, f"export digests diverged across workers: {digests}"
+    return runs
+
+
+def render(runs: List[Dict], scale: str) -> str:
+    baseline = runs[0]["throughput"]
+    rows = [
+        (
+            f"{run['workers']} ({run['mode']})",
+            run["items"],
+            f"{run['wall_s']:.2f}",
+            f"{run['throughput']:,.0f}",
+            f"{run['throughput'] / baseline:.2f}x" if baseline else "-",
+            run["cache_hits"],
+            run["cache_misses"],
+        )
+        for run in runs
+    ]
+    return render_table(
+        ["workers", "fqdns swept", "sweep wall s", "fqdn/s", "speedup",
+         "cache hits", "cache misses"],
+        rows,
+        title=(
+            f"Sweep throughput, serial vs sharded ({scale} scenario, "
+            f"{runs[0]['weeks']} weeks, digests byte-identical)"
+        ),
+    )
+
+
+def emit_results(runs: List[Dict], scale: str, out=sys.stdout) -> str:
+    table = render(runs, scale)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "sweep_parallel.txt").write_text(table + "\n", encoding="utf-8")
+    baseline = runs[0]["throughput"]
+    trajectory = {
+        "scale": scale,
+        "weeks": runs[0]["weeks"],
+        "runs": [
+            {key: run[key] for key in
+             ("workers", "mode", "items", "wall_s", "throughput")}
+            for run in runs
+        ],
+        "speedup_at_max_workers": (
+            runs[-1]["throughput"] / baseline if baseline else 0.0
+        ),
+    }
+    (RESULTS_DIR / "sweep_parallel.json").write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"\n=== sweep_parallel ({scale}) ===\n{table}\n", file=out)
+    return table
+
+
+# -- pytest entry point ----------------------------------------------------
+
+
+def test_sweep_parallel_throughput(emit):
+    """Small-scale parity + throughput record for the bench trajectory."""
+    runs = measure("small")
+    emit_results(runs, "small")
+    emit("sweep_parallel", render(runs, "small"))
+    speedup = runs[-1]["throughput"] / runs[0]["throughput"]
+    # The sharded executor must never run slower than the serial
+    # baseline; the >= 2x acceptance gate applies to the default-scale
+    # standalone run, where steady-state weeks dominate.
+    assert speedup >= 1.0, f"4-worker sweep slower than serial: {speedup:.2f}x"
+
+
+# -- standalone entry point ------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="run the laptop-fast small scenario instead "
+                             "of the paper-scale default")
+    parser.add_argument("--weeks", type=int, default=None,
+                        help="override the scenario's week count")
+    parser.add_argument("--variant", type=int, default=None,
+                        help="internal: run one worker-count variant and "
+                             "print its result row as JSON")
+    parser.add_argument("--scale", default=None,
+                        help="internal: scenario scale for --variant")
+    args = parser.parse_args(argv)
+    if args.variant is not None:
+        run = run_variant(args.scale or "full", args.variant, args.weeks)
+        print(json.dumps(run))
+        return 0
+    scale = "small" if args.quick else "full"
+    runs = measure_isolated(scale, weeks=args.weeks)
+    emit_results(runs, scale)
+    speedup = runs[-1]["throughput"] / runs[0]["throughput"]
+    floor = 1.0 if args.quick else 2.0
+    if speedup < floor:
+        print(f"FAIL: speedup {speedup:.2f}x below the {floor:.1f}x floor",
+              file=sys.stderr)
+        return 1
+    print(f"speedup at {runs[-1]['workers']} workers: {speedup:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

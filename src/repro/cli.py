@@ -5,6 +5,7 @@
     python -m repro run        [--seed N] [--weeks N] [--scale tiny|small|full]
                                [--notify] [--randomize-names] [--export PATH]
                                [--faults [LEVEL]] [--fault-seed N] [--retries N]
+                               [--workers N]
     python -m repro report     [--seed N] [--scale ...]
     python -m repro audit      [--seed N] [--scale ...]
     python -m repro pipeline   [--seed N] [--scale ...]
@@ -21,6 +22,10 @@ pins the fault streams independently of the world seed, and
 budget.  ``pipeline`` additionally prints the resilience summary —
 injected-fault counts, client retries, breaker trips, quarantined
 FQDNs.
+
+``--workers N`` shards each weekly monitor sweep across N forked
+workers, merged deterministically in shard order: a fault-free run
+exports byte-identical datasets for any worker count.
 """
 
 from __future__ import annotations
@@ -69,6 +74,10 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--retries", type=int, default=None, metavar="N",
                          help="monitor retry budget for transient "
                               "failures (default: no retries)")
+        cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="sweep workers: shard the weekly monitor "
+                              "sweep across N forked workers (default 1 "
+                              "= serial baseline)")
         if name == "run":
             cmd.add_argument("--export", metavar="PATH", default=None,
                              help="write the abuse dataset to a JSON file")
@@ -92,6 +101,7 @@ def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
         )
     if getattr(args, "retries", None) is not None:
         config.monitor.retry = RetryPolicy.standard(max(1, args.retries))
+    config.workers = max(1, getattr(args, "workers", 1) or 1)
     return config
 
 

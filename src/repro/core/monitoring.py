@@ -20,7 +20,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 from repro.core.keywords import extract_keywords
 from repro.dns.names import Name
 from repro.faults.retry import RetryPolicy
-from repro.web.client import FetchStatus, HttpClient
+from repro.web.client import FetchOutcome, FetchStatus, HttpClient
 from repro.web.html import parse_html
 from repro.web.sitemap import parse_sitemap
 
@@ -51,7 +51,10 @@ class MonitorConfig:
     external_url_cap: int = 64
     #: Cap on stored sitemap sample URLs.
     sitemap_sample_cap: int = 10
-    #: Try HTTPS first when a certificate exists, else HTTP.
+    #: Try HTTPS first, falling back to HTTP when the TLS handshake
+    #: fails (no/invalid certificate).  The scheme actually used is
+    #: recorded on the snapshot.  The fallback pair counts as one
+    #: logical index probe against the ethics bound.
     prefer_https: bool = False
     #: Batch size for :meth:`WeeklyMonitor.sweep_iter` — the unit of
     #: work a parallel executor will shard across workers.
@@ -92,6 +95,10 @@ class SnapshotFeatures:
     #: Fetch attempts the index sample took (1 = first try; excluded
     #: from :meth:`state_key` so retries never fabricate new states).
     attempts: int = 1
+    #: Scheme the index fetch actually used ("http"/"https").  Like
+    #: ``attempts`` this describes *how* the sample was taken, not what
+    #: was observed, so it is excluded from :meth:`state_key`.
+    scheme: str = "http"
 
     @property
     def reachable(self) -> bool:
@@ -145,6 +152,19 @@ class SnapshotStore:
         )
         return True, previous
 
+    def touch(self, fqdn: Name, at: datetime) -> None:
+        """Re-observe ``fqdn``'s current state at ``at`` without a sample.
+
+        Equivalent to :meth:`record` with features whose ``state_key``
+        matches the latest stored state — the common steady-state case
+        — minus the cost of building the features object.  The caller
+        must have verified the observed state is unchanged.
+        """
+        history = self._history[fqdn]
+        current = history[-1]
+        current.last_seen = at
+        current.observations += 1
+
     def history(self, fqdn: Name) -> List[StoredState]:
         return list(self._history.get(fqdn, []))
 
@@ -160,6 +180,34 @@ class SnapshotStore:
         return sum(len(h) for h in self._history.values())
 
 
+@dataclass
+class ExtractionCache:
+    """Content-addressed memo of pure feature extraction.
+
+    Parsing and keyword extraction are pure functions of the body, and
+    week over week almost every body is one the pipeline has already
+    seen — so extracted features can be reused by body hash.  ``html``
+    maps an index-body hash to the :class:`SnapshotFeatures` field dict
+    the body extracts to; ``sitemap`` maps a sitemap-body hash to its
+    ``(size, count, sample)`` triple.  Entirely behaviour-transparent:
+    a cached entry is byte-identical to re-extraction.  Disabled by
+    default (``WeeklyMonitor`` is built without one); the parallel
+    executor owns one per run and threads it into its shard workers.
+    """
+
+    html: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    sitemap: Dict[str, Tuple[int, int, Tuple[str, ...]]] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def merge(self, other: "ExtractionCache") -> None:
+        """Fold ``other``'s entries and counters into this cache."""
+        self.html.update(other.html)
+        self.sitemap.update(other.sitemap)
+        self.hits += other.hits
+        self.misses += other.misses
+
+
 class WeeklyMonitor:
     """Takes the weekly samples and feeds the store."""
 
@@ -168,16 +216,32 @@ class WeeklyMonitor:
         client: HttpClient,
         store: Optional[SnapshotStore] = None,
         config: Optional[MonitorConfig] = None,
+        extraction_cache: Optional[ExtractionCache] = None,
     ):
         self._client = client
         self.store = store if store is not None else SnapshotStore()
         self.config = config or MonitorConfig()
+        #: Optional content-addressed extraction memo (None = always
+        #: re-extract, the baseline serial behaviour).
+        self.extraction_cache = extraction_cache
         self.samples_taken = 0
         self.sitemap_fetches = 0
-        #: (fqdn, fetch_status) pairs whose *final* sample this sweep
-        #: still ended in a transient failure — retries exhausted.  The
-        #: pipeline's sweep stage turns these into quarantine records.
-        self.last_sweep_failures: List[Tuple[Name, str]] = []
+        self._last_sweep_failures: List[Tuple[Name, str]] = []
+
+    @property
+    def client(self) -> HttpClient:
+        """The HTTP client the monitor samples through."""
+        return self._client
+
+    @property
+    def last_sweep_failures(self) -> List[Tuple[Name, str]]:
+        """(fqdn, fetch_status) pairs whose *final* sample still ended
+        in a transient failure — retries exhausted — in the most
+        recently *started* sweep.  Compat view: callers running sweeps
+        concurrently should pass their own ``failures`` sink to
+        :meth:`sweep_iter` instead.
+        """
+        return self._last_sweep_failures
 
     def sweep(
         self, fqdns: Sequence[Name], at: datetime
@@ -194,7 +258,11 @@ class WeeklyMonitor:
         return changed
 
     def sweep_iter(
-        self, fqdns: Sequence[Name], at: datetime, batch_size: Optional[int] = None
+        self,
+        fqdns: Sequence[Name],
+        at: datetime,
+        batch_size: Optional[int] = None,
+        failures: Optional[List[Tuple[Name, str]]] = None,
     ) -> Iterator[List[Tuple[SnapshotFeatures, Optional[SnapshotFeatures]]]]:
         """Sample in fixed-size batches, yielding each batch's changes.
 
@@ -203,11 +271,28 @@ class WeeklyMonitor:
         run concurrently once the store is partitioned.  Yields one
         (possibly empty) changed-pairs list per batch; iterating to
         exhaustion is equivalent to :meth:`sweep`.
+
+        Retry-exhausted transient failures are appended to ``failures``
+        when given, else to a fresh per-call list readable (for
+        compatibility) as :attr:`last_sweep_failures`.  Validation and
+        the failure-list rebind happen eagerly at call time, not at
+        first ``next()``, so interleaved sweeps never clobber each
+        other's quarantine lists.
         """
         size = batch_size if batch_size is not None else self.config.sweep_batch_size
         if size <= 0:
             raise ValueError(f"batch_size must be positive, got {size}")
-        self.last_sweep_failures = []
+        sink: List[Tuple[Name, str]] = failures if failures is not None else []
+        self._last_sweep_failures = sink
+        return self._sweep_batches(fqdns, at, size, sink)
+
+    def _sweep_batches(
+        self,
+        fqdns: Sequence[Name],
+        at: datetime,
+        size: int,
+        failures: List[Tuple[Name, str]],
+    ) -> Iterator[List[Tuple[SnapshotFeatures, Optional[SnapshotFeatures]]]]:
         for start in range(0, len(fqdns), size):
             changed: List[Tuple[SnapshotFeatures, Optional[SnapshotFeatures]]] = []
             for fqdn in fqdns[start:start + size]:
@@ -216,7 +301,7 @@ class WeeklyMonitor:
                     # Retries exhausted and the state is still unknown:
                     # keep the last trusted state instead of recording a
                     # phantom change, and hand the FQDN to quarantine.
-                    self.last_sweep_failures.append((fqdn, features.fetch_status))
+                    failures.append((fqdn, features.fetch_status))
                     continue
                 is_new, previous = self.store.record(features)
                 if is_new:
@@ -227,10 +312,7 @@ class WeeklyMonitor:
         """One weekly sample: index fetch, plus sitemap when warranted."""
         self.samples_taken += 1
         headers = {"User-Agent": self.config.user_agent}
-        outcome = self._client.fetch(
-            fqdn, path="/", scheme="http", at=at, headers=headers,
-            retry=self.config.retry,
-        )
+        outcome, scheme = self._fetch_index(fqdn, at, headers)
         resolution = outcome.resolution
         features = SnapshotFeatures(
             fqdn=fqdn,
@@ -240,6 +322,7 @@ class WeeklyMonitor:
             addresses=tuple(resolution.addresses) if resolution else (),
             fetch_status=outcome.status.value,
             attempts=outcome.attempts,
+            scheme=scheme,
         )
         if not outcome.ok:
             if outcome.response is not None:
@@ -261,14 +344,17 @@ class WeeklyMonitor:
                 addresses=features.addresses,
                 fetch_status=features.fetch_status,
                 attempts=features.attempts,
+                scheme=features.scheme,
             )
         else:
-            features = self._with_html_features(features, outcome.response.status, body)
+            features = self._with_html_features(
+                features, outcome.response.status, body, body_hash
+            )
         # Second (conditional) request: the sitemap, fetched only when
         # the page is up — the paper's "if we cannot establish an abuse
         # with confidence" follow-up, bounded to 2 requests per FQDN.
         if previous is None or previous.html_hash != features.html_hash or previous.sitemap_count < 0:
-            features = self._with_sitemap_features(features, fqdn, at, headers)
+            features = self._with_sitemap_features(features, fqdn, at, headers, scheme)
         else:
             features = replace(
                 features,
@@ -278,11 +364,56 @@ class WeeklyMonitor:
             )
         return features
 
+    def _fetch_index(
+        self, fqdn: Name, at: datetime, headers: Dict[str, str]
+    ) -> Tuple[FetchOutcome, str]:
+        """The index fetch, with scheme selection.
+
+        With ``prefer_https`` the HTTPS attempt comes first; a TLS
+        failure (no or invalid certificate) falls back to plain HTTP —
+        any other HTTPS outcome, success or failure, is authoritative.
+        Returns the outcome and the scheme it was fetched over.
+        """
+        if self.config.prefer_https:
+            outcome = self._client.fetch(
+                fqdn, path="/", scheme="https", at=at, headers=headers,
+                retry=self.config.retry,
+            )
+            if outcome.status != FetchStatus.TLS_ERROR:
+                return outcome, "https"
+        outcome = self._client.fetch(
+            fqdn, path="/", scheme="http", at=at, headers=headers,
+            retry=self.config.retry,
+        )
+        return outcome, "http"
+
     # -- feature builders ------------------------------------------------------------
 
     def _with_html_features(
-        self, features: SnapshotFeatures, status: int, body: str
+        self,
+        features: SnapshotFeatures,
+        status: int,
+        body: str,
+        body_hash: Optional[str] = None,
     ) -> SnapshotFeatures:
+        if body_hash is None:
+            body_hash = hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+        cache = self.extraction_cache
+        if cache is not None:
+            cached = cache.html.get(body_hash)
+            if cached is not None:
+                cache.hits += 1
+                return replace(
+                    features, http_status=status, html_hash=body_hash, **cached
+                )
+            cache.misses += 1
+        fields = self._extract_html_fields(body)
+        if cache is not None:
+            cache.html[body_hash] = fields
+        return replace(features, http_status=status, html_hash=body_hash, **fields)
+
+    def _extract_html_fields(self, body: str) -> Dict[str, object]:
+        """Pure extraction of one index body's feature fields."""
         document = parse_html(body)
         external = [u for u in document.all_urls() if u.startswith(("http://", "https://"))]
         downloads = tuple(
@@ -291,10 +422,7 @@ class WeeklyMonitor:
             if link.href.startswith("/")
             and link.href.lower().endswith((".apk", ".exe", ".msi", ".dmg"))
         )
-        return replace(
-            features,
-            http_status=status,
-            html_hash=hashlib.sha256(body.encode("utf-8")).hexdigest()[:16],
+        return dict(
             html_size=len(body.encode("utf-8")),
             title=document.title,
             lang=document.lang,
@@ -309,19 +437,44 @@ class WeeklyMonitor:
         )
 
     def _with_sitemap_features(
-        self, features: SnapshotFeatures, fqdn: Name, at: datetime, headers: Dict[str, str]
+        self,
+        features: SnapshotFeatures,
+        fqdn: Name,
+        at: datetime,
+        headers: Dict[str, str],
+        scheme: str = "http",
     ) -> SnapshotFeatures:
         self.sitemap_fetches += 1
         outcome = self._client.fetch(
-            fqdn, path="/sitemap.xml", scheme="http", at=at, headers=headers,
+            fqdn, path="/sitemap.xml", scheme=scheme, at=at, headers=headers,
             retry=self.config.retry,
         )
         if not outcome.ok:
             return features
-        sitemap = parse_sitemap(outcome.response.body)
+        size, count, sample = self.extract_sitemap_fields(outcome.response.body)
         return replace(
-            features,
-            sitemap_size=outcome.response.body_size(),
-            sitemap_count=len(sitemap),
-            sitemap_sample=tuple(sitemap.urls()[: self.config.sitemap_sample_cap]),
+            features, sitemap_size=size, sitemap_count=count, sitemap_sample=sample
+        )
+
+    def extract_sitemap_fields(self, body: str) -> Tuple[int, int, Tuple[str, ...]]:
+        """``(size, count, sample)`` of one sitemap body, via the cache."""
+        cache = self.extraction_cache
+        if cache is None:
+            return self._extract_sitemap_fields(body)
+        key = hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+        cached = cache.sitemap.get(key)
+        if cached is not None:
+            cache.hits += 1
+            return cached
+        cache.misses += 1
+        fields = self._extract_sitemap_fields(body)
+        cache.sitemap[key] = fields
+        return fields
+
+    def _extract_sitemap_fields(self, body: str) -> Tuple[int, int, Tuple[str, ...]]:
+        sitemap = parse_sitemap(body)
+        return (
+            len(body.encode("utf-8")),
+            len(sitemap),
+            tuple(sitemap.urls()[: self.config.sitemap_sample_cap]),
         )

@@ -43,6 +43,7 @@ from repro.core.stages import (
 )
 from repro.faults.plan import FaultConfig, FaultPlan
 from repro.faults.retry import CircuitBreaker, RetryPolicy
+from repro.parallel.executor import ProcessExecutor, SerialExecutor, SweepExecutor
 from repro.pipeline.context import QuarantineRecord
 from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.metrics import PipelineMetrics
@@ -88,6 +89,11 @@ class ScenarioConfig:
     breaker_threshold: int = 5
     #: Retry budget for a stage tick that raises (1 = fail immediately).
     stage_retry_attempts: int = 1
+    #: Sweep workers: 1 runs the serial baseline executor; N > 1 shards
+    #: the monitored list across N forked workers per weekly sweep,
+    #: merged deterministically in shard order (fault-free runs export
+    #: byte-identical digests for any worker count).
+    workers: int = 1
 
     @classmethod
     def tiny(cls, seed: int = 42) -> "ScenarioConfig":
@@ -146,6 +152,8 @@ class ScenarioResult:
     fault_plan: Optional[FaultPlan] = None
     #: Dead-letter log of quarantined FQDNs / failed stage ticks.
     dead_letters: List[QuarantineRecord] = field(default_factory=list)
+    #: The sweep executor the monitor stage ran on (serial or sharded).
+    executor: Optional[SweepExecutor] = None
 
     @property
     def dataset(self) -> AbuseDataset:
@@ -225,6 +233,11 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
         )
         collector.ingest(candidate_names(internet, organizations), clock.now)
     monitor = WeeklyMonitor(internet.client, config=config.monitor)
+    executor: SweepExecutor = (
+        ProcessExecutor(workers=config.workers)
+        if config.workers > 1
+        else SerialExecutor()
+    )
     detector = AbuseDetector(monitor.store, config.detector, whois=internet.whois)
 
     harvester = BinaryHarvester(internet.client, internet.virustotal)
@@ -241,7 +254,7 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
         ground_truth=ground_truth, groups=groups, orchestrator=orchestrator,
         engine=engine, collector=collector, monitor=monitor, detector=detector,
         users=users, harvester=harvester, notifications=notifications,
-        monetization=monetization, fault_plan=fault_plan,
+        monetization=monetization, fault_plan=fault_plan, executor=executor,
     )
 
     stages = [
@@ -251,7 +264,7 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
         CollectorRefreshStage(
             collector, internet, organizations, config.collector_refresh_weeks
         ),
-        MonitorSweepStage(monitor, collector),
+        MonitorSweepStage(monitor, collector, executor=executor),
         ChangeDetectStage(),
         DetectStage(detector),
         NotifyStage(notifications),

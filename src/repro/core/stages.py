@@ -26,6 +26,7 @@ from repro.core.malware_analysis import BinaryHarvester
 from repro.core.monitoring import WeeklyMonitor
 from repro.core.notifications import NotificationCampaign
 from repro.dns.names import Name
+from repro.parallel.executor import SerialExecutor, SweepExecutor
 from repro.pipeline.context import WeekContext
 from repro.pipeline.stage import Stage
 from repro.world.internet import Internet
@@ -121,29 +122,37 @@ class CollectorRefreshStage(Stage):
 
 
 class MonitorSweepStage(Stage):
-    """Weekly sampling of every monitored FQDN, in fixed-size batches.
+    """Weekly sampling of every monitored FQDN, via a sweep executor.
 
-    FQDNs whose final sample still ended in a transient failure after
-    the monitor's retry budget are dead-lettered onto the context's
-    quarantine instead of polluting the state store — the week's sweep
-    degrades to the reachable subset rather than aborting.
+    The sweep itself is delegated to a
+    :class:`~repro.parallel.executor.SweepExecutor` — the serial
+    baseline by default, or a sharded parallel executor when the
+    scenario asks for workers.  FQDNs whose final sample still ended in
+    a transient failure after the monitor's retry budget are
+    dead-lettered onto the context's quarantine instead of polluting
+    the state store — the week's sweep degrades to the reachable subset
+    rather than aborting.
     """
 
     name = "monitor-sweep"
     provides = (CHANGED_PAIRS,)
 
-    def __init__(self, monitor: WeeklyMonitor, collector: FqdnCollector):
+    def __init__(
+        self,
+        monitor: WeeklyMonitor,
+        collector: FqdnCollector,
+        executor: Optional[SweepExecutor] = None,
+    ):
         self._monitor = monitor
         self._collector = collector
+        self._executor = executor if executor is not None else SerialExecutor()
 
     def tick(self, ctx: WeekContext) -> Optional[int]:
         fqdns = self._collector.monitored_sorted
-        changed: List = []
-        for batch_changed in self._monitor.sweep_iter(fqdns, ctx.at):
-            changed.extend(batch_changed)
-        for fqdn, status in self._monitor.last_sweep_failures:
+        report = self._executor.sweep(self._monitor, fqdns, ctx.at)
+        for fqdn, status in report.failures:
             ctx.quarantine_item(fqdn, f"retries exhausted ({status})")
-        ctx.put(CHANGED_PAIRS, changed)
+        ctx.put(CHANGED_PAIRS, report.changed)
         return len(fqdns)
 
 

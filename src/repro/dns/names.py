@@ -39,17 +39,28 @@ class InvalidNameError(ValueError):
     """Raised for syntactically invalid domain names."""
 
 
+#: Memo of valid input → normalized form.  ``normalize_name`` is pure
+#: and sits on the resolver's hottest path (every lookup normalizes the
+#: query name, each CNAME hop and each zone-walk candidate); the set of
+#: distinct names in a run is bounded, so an unbounded memo is safe.
+_NORMALIZED: dict = {}
+
+
 def normalize_name(name: str) -> Name:
     """Lower-case ``name`` and strip any trailing root dot.
 
     Raises :class:`InvalidNameError` for empty names or empty labels.
     """
+    cached = _NORMALIZED.get(name)
+    if cached is not None:
+        return cached
     stripped = name.strip().rstrip(".").lower()
     if not stripped:
         raise InvalidNameError(f"empty domain name: {name!r}")
     labels = stripped.split(".")
     if any(not label for label in labels):
         raise InvalidNameError(f"empty label in domain name: {name!r}")
+    _NORMALIZED[name] = stripped
     return stripped
 
 

@@ -64,6 +64,10 @@ class PassiveDNS:
             obs.count += 1
         return obs
 
+    def observation_for(self, record: ResourceRecord) -> Optional[PassiveDNSObservation]:
+        """The aggregated observation of exactly ``record``, if any."""
+        return self._observations.get(record.key)
+
     def __len__(self) -> int:
         return len(self._observations)
 

@@ -47,8 +47,17 @@ class ResourceRecord:
 
     @property
     def key(self) -> str:
-        """A stable identity string for set/dict usage."""
-        return f"{self.name} {self.rtype.value} {self.rdata}"
+        """A stable identity string for set/dict usage.
+
+        Computed once per record: the fields are frozen and the key is
+        rebuilt on every passive-DNS observation, which sits on the
+        resolver's hottest path.
+        """
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            cached = f"{self.name} {self.rtype.value} {self.rdata}"
+            object.__setattr__(self, "_key", cached)
+        return cached
 
     def __str__(self) -> str:
         return self.key

@@ -33,6 +33,22 @@ class Zone:
         self._records: Dict[Tuple[Name, RRType], List[ResourceRecord]] = {}
         self._history: List[ZoneChange] = []
         self._record_counts: Dict[Name, int] = {}
+        #: Memo of (name, rtype) → lookup result, cleared on mutation.
+        #: Weekly sweeps re-query the same (mostly unchanged) names, and
+        #: wildcard answers synthesize a record object per query without
+        #: it; memoized, the same synthesized record is reused until the
+        #: zone next changes.
+        self._lookup_cache: Dict[Tuple[Name, RRType], List[ResourceRecord]] = {}
+        #: Monotonic mutation counter.  Resolution memos snapshot it and
+        #: revalidate on every hit, so a stale answer can never outlive
+        #: the zone change that invalidated it.
+        self.version = 0
+        #: Per-name mutation counters.  A ``lookup``/``name_exists``
+        #: outcome for ``name`` is fully pinned by the versions of
+        #: ``name`` itself and of its wildcard key ``*.parent(name)``,
+        #: so memos validated at this granularity survive the weekly
+        #: churn of *other* names in a big shared provider zone.
+        self._name_versions: Dict[Name, int] = {}
 
     # -- queries ----------------------------------------------------------
 
@@ -51,20 +67,30 @@ class Zone:
         serving the provider 404 page.
         """
         normalized = normalize_name(name)
+        cached = self._lookup_cache.get((normalized, rtype))
+        if cached is not None:
+            return list(cached)
+        result: List[ResourceRecord] = []
         exact = self._records.get((normalized, rtype))
         if exact:
-            return list(exact)
-        if self._record_counts.get(normalized, 0) > 0:
-            return []  # name exists with other types: wildcard never applies
-        parent = parent_name(normalized)
-        if parent is not None and not normalized.startswith("*."):
-            wildcard = self._records.get((f"*.{parent}", rtype))
-            if wildcard:
-                return [
-                    ResourceRecord(name=normalized, rtype=rtype, rdata=record.rdata)
-                    for record in wildcard
-                ]
-        return []
+            result = list(exact)
+        elif self._record_counts.get(normalized, 0) > 0:
+            pass  # name exists with other types: wildcard never applies
+        else:
+            parent = parent_name(normalized)
+            if parent is not None and not normalized.startswith("*."):
+                wildcard = self._records.get((f"*.{parent}", rtype))
+                if wildcard:
+                    result = [
+                        ResourceRecord(name=normalized, rtype=rtype, rdata=record.rdata)
+                        for record in wildcard
+                    ]
+        self._lookup_cache[(normalized, rtype)] = result
+        return list(result)
+
+    def name_version(self, name: Name) -> int:
+        """Mutation counter for ``name`` alone (0 = never mutated)."""
+        return self._name_versions.get(name, 0)
 
     def name_exists(self, name: Name) -> bool:
         """Whether any record type currently exists at ``name``."""
@@ -109,6 +135,9 @@ class Zone:
         bucket.append(record)
         self._record_counts[record.name] = self._record_counts.get(record.name, 0) + 1
         self._history.append(ZoneChange(at=at, action="add", record=record))
+        self._lookup_cache.clear()
+        self.version += 1
+        self._name_versions[record.name] = self._name_versions.get(record.name, 0) + 1
         return record
 
     def remove(self, record: ResourceRecord, at: datetime) -> None:
@@ -119,6 +148,9 @@ class Zone:
         bucket.remove(record)
         self._record_counts[record.name] -= 1
         self._history.append(ZoneChange(at=at, action="remove", record=record))
+        self._lookup_cache.clear()
+        self.version += 1
+        self._name_versions[record.name] = self._name_versions.get(record.name, 0) + 1
 
     def remove_all(self, name: Name, rtype: RRType, at: datetime) -> int:
         """Remove every ``rtype`` record at ``name``; returns the count."""
@@ -146,6 +178,15 @@ class ZoneRegistry:
 
     def __init__(self) -> None:
         self._zones: Dict[Name, Zone] = {}
+        #: Memo of name → covering zone (``None`` = no zone covers it),
+        #: invalidated whenever a zone is registered.  Zone *content*
+        #: changes never move a name between zones, so registration is
+        #: the only invalidation point.
+        self._zone_for: Dict[Name, Optional[Zone]] = {}
+        #: Monotonic registration counter — bumps when the zone *set*
+        #: changes, which is the only event that can move a name between
+        #: zones (or from "no covering zone" to covered).
+        self.version = 0
 
     def create_zone(self, apex: Name) -> Zone:
         """Create and register an empty zone at ``apex``."""
@@ -154,6 +195,10 @@ class ZoneRegistry:
             raise ValueError(f"zone {normalized} already exists")
         zone = Zone(normalized)
         self._zones[normalized] = zone
+        # A new zone may now be the most specific cover for previously
+        # memoized names (including negative entries): drop the memo.
+        self._zone_for.clear()
+        self.version += 1
         return zone
 
     def get_zone(self, apex: Name) -> Optional[Zone]:
@@ -166,12 +211,17 @@ class ZoneRegistry:
         Walks the suffixes of ``name`` from longest to shortest, so the
         cost is O(label count), not O(zone count).
         """
-        labels = normalize_name(name).split(".")
+        normalized = normalize_name(name)
+        if normalized in self._zone_for:
+            return self._zone_for[normalized]
+        labels = normalized.split(".")
+        zone = None
         for start in range(len(labels)):
             zone = self._zones.get(".".join(labels[start:]))
             if zone is not None:
-                return zone
-        return None
+                break
+        self._zone_for[normalized] = zone
+        return zone
 
     def zones(self) -> Iterable[Zone]:
         """All registered zones."""

@@ -85,6 +85,9 @@ class _EdgeCircuit:
     state: str = CLOSED
     consecutive_failures: int = 0
     opened_at: Optional[datetime] = None
+    #: A HALF_OPEN trial probe is in flight: further callers keep
+    #: short-circuiting until its outcome lands.
+    trial_pending: bool = False
 
 
 class CircuitBreaker:
@@ -124,9 +127,19 @@ class CircuitBreaker:
         if circuit is None or circuit.state == CLOSED:
             return True
         if circuit.state == HALF_OPEN:
+            # Exactly one trial probe may be in flight at a time; its
+            # outcome (record_success / record_failure) decides the
+            # circuit before anyone else gets through.
+            if circuit.trial_pending:
+                return False
+            circuit.trial_pending = True
             return True
-        if circuit.opened_at is not None and at >= circuit.opened_at + self.cooldown:
+        if circuit.opened_at is None or at >= circuit.opened_at + self.cooldown:
+            # ``opened_at is None`` means the open instant was lost;
+            # fail open into a single trial probe rather than
+            # short-circuiting this edge forever.
             circuit.state = HALF_OPEN
+            circuit.trial_pending = True
             return True
         return False
 
@@ -138,6 +151,7 @@ class CircuitBreaker:
         circuit.state = CLOSED
         circuit.consecutive_failures = 0
         circuit.opened_at = None
+        circuit.trial_pending = False
 
     def record_failure(self, key: str, at: datetime) -> None:
         """A request to ``key`` failed: count it, trip when over threshold."""
@@ -146,6 +160,7 @@ class CircuitBreaker:
             # Failed trial: straight back to OPEN for another cooldown.
             circuit.state = OPEN
             circuit.opened_at = at
+            circuit.trial_pending = False
             self.trips += 1
             return
         circuit.consecutive_failures += 1

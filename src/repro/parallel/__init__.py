@@ -1,0 +1,26 @@
+"""Sharded parallel execution of the weekly monitor sweep.
+
+The monitored-FQDN list is the pipeline's unit of horizontal scale
+(Section 3.2 monitors millions of names weekly).  This package shards
+that list into contiguous slices, fans the slices out to workers, and
+merges the results deterministically in shard order, so a parallel
+sweep of a fault-free world is byte-identical to a serial one.
+"""
+
+from repro.parallel.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    SweepReport,
+)
+from repro.parallel.shard import ShardResult, fast_path_eligible, partition
+
+__all__ = [
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SweepExecutor",
+    "SweepReport",
+    "ShardResult",
+    "fast_path_eligible",
+    "partition",
+]

@@ -1,0 +1,281 @@
+"""Sweep executors: the serial baseline and the sharded parallel one.
+
+A :class:`SweepExecutor` runs one weekly sweep of the monitored-FQDN
+list and reduces it to a :class:`SweepReport`.  :class:`SerialExecutor`
+is the seed pipeline's behaviour — one in-process pass through
+``WeeklyMonitor.sweep_iter`` — and the golden-digest baseline.
+:class:`ProcessExecutor` shards the list into contiguous slices, runs
+each shard's sample+reduce in a forked worker against the copy-on-write
+world, and merges the results **in shard order**: the snapshot store,
+the changed-pairs list, the quarantine list and every counter see the
+exact same sequence a serial sweep would have produced, so a parallel
+run of a fault-free scenario exports byte-identical digests.
+
+Under fault injection a parallel run is still fully deterministic —
+the same seed and worker count always replay the same storm — but not
+byte-identical to the *serial* chaos run: fault streams are sequential,
+so sharding re-partitions the draw sequence, and breaker failure
+streaks accumulate shard-locally.  See the determinism-under-sharding
+contract in the README.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.monitoring import ExtractionCache, SnapshotFeatures, WeeklyMonitor
+from repro.dns.names import Name
+from repro.parallel.shard import (
+    ShardResult,
+    fork_available,
+    partition,
+    run_shard,
+    run_shards_forked,
+)
+
+ChangedPair = Tuple[SnapshotFeatures, Optional[SnapshotFeatures]]
+
+
+def effective_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+@dataclass
+class SweepReport:
+    """One sweep's merged outcome: changes, failures and counters.
+
+    Reports merge associatively (:meth:`merge`): lists concatenate in
+    order and counters sum, so reducing per-shard reports left-to-right
+    equals reducing any bracketing of them — the property that makes
+    the shard-order merge well-defined.
+    """
+
+    changed: List[ChangedPair] = field(default_factory=list)
+    failures: List[Tuple[Name, str]] = field(default_factory=list)
+    samples_taken: int = 0
+    sitemap_fetches: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    breaker_trips: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    mode: str = "serial"
+    shard_sizes: List[int] = field(default_factory=list)
+    shard_walls: List[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def fqdns_swept(self) -> int:
+        return self.samples_taken
+
+    def merge(self, other: "SweepReport") -> "SweepReport":
+        """A new report combining ``self`` then ``other`` (associative)."""
+        merged_injected = dict(self.injected)
+        for kind, count in other.injected.items():
+            merged_injected[kind] = merged_injected.get(kind, 0) + count
+        return SweepReport(
+            changed=self.changed + other.changed,
+            failures=self.failures + other.failures,
+            samples_taken=self.samples_taken + other.samples_taken,
+            sitemap_fetches=self.sitemap_fetches + other.sitemap_fetches,
+            retries=self.retries + other.retries,
+            backoff_seconds=self.backoff_seconds + other.backoff_seconds,
+            breaker_trips=self.breaker_trips + other.breaker_trips,
+            injected=merged_injected,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            workers=max(self.workers, other.workers),
+            mode=self.mode if self.mode == other.mode else "mixed",
+            shard_sizes=self.shard_sizes + other.shard_sizes,
+            shard_walls=self.shard_walls + other.shard_walls,
+            wall_seconds=self.wall_seconds + other.wall_seconds,
+        )
+
+
+class SweepExecutor:
+    """Strategy interface: run one weekly sweep over ``fqdns``."""
+
+    workers: int = 1
+
+    def sweep(
+        self, monitor: WeeklyMonitor, fqdns: Sequence[Name], at: datetime
+    ) -> SweepReport:
+        raise NotImplementedError
+
+
+class SerialExecutor(SweepExecutor):
+    """The seed pipeline's sweep, verbatim: one in-process pass."""
+
+    workers = 1
+
+    def sweep(
+        self, monitor: WeeklyMonitor, fqdns: Sequence[Name], at: datetime
+    ) -> SweepReport:
+        client = monitor.client
+        plan = client.fault_plan
+        samples0 = monitor.samples_taken
+        sitemap0 = monitor.sitemap_fetches
+        retries0 = client.retries_total
+        backoff0 = client.backoff_seconds_total
+        trips0 = client.breaker.trips if client.breaker is not None else 0
+        injected0 = dict(plan.stats.injected) if plan is not None else {}
+        started = time.perf_counter()
+        failures: List[Tuple[Name, str]] = []
+        changed: List[ChangedPair] = []
+        for batch_changed in monitor.sweep_iter(fqdns, at, failures=failures):
+            changed.extend(batch_changed)
+        wall = time.perf_counter() - started
+        report = SweepReport(
+            changed=changed,
+            failures=failures,
+            samples_taken=monitor.samples_taken - samples0,
+            sitemap_fetches=monitor.sitemap_fetches - sitemap0,
+            retries=client.retries_total - retries0,
+            backoff_seconds=client.backoff_seconds_total - backoff0,
+            breaker_trips=(
+                client.breaker.trips - trips0 if client.breaker is not None else 0
+            ),
+            workers=1,
+            mode="serial",
+            shard_sizes=[len(fqdns)],
+            shard_walls=[wall],
+            wall_seconds=wall,
+        )
+        if plan is not None:
+            for kind, count in plan.stats.injected.items():
+                delta = count - injected0.get(kind, 0)
+                if delta:
+                    report.injected[kind] = delta
+        return report
+
+
+class ProcessExecutor(SweepExecutor):
+    """Sharded sweep across forked workers, merged in shard order.
+
+    The monitored list is cut into at most ``workers`` contiguous
+    slices; each runs in a forked child against the copy-on-write world
+    with shard-local client/store effects, and the parent replays every
+    shard's results — store records, quarantines, counters, passive-DNS
+    observations, new extraction-cache entries — in shard order.  With
+    one worker (or where ``os.fork`` is unavailable) the same shard
+    loop runs inline, fork-free, with identical results.
+
+    ``use_fork=None`` (the default) auto-detects: forking pays only
+    when more than one CPU is actually available — on a single-CPU box
+    copy-on-write page faults on the big world heap cost more per sweep
+    than sharding saves, so the shards run inline instead.  The merge
+    path is identical either way, so the choice never affects results.
+
+    The executor owns a persistent content-addressed
+    :class:`ExtractionCache` that workers inherit through the fork and
+    extend back through the merge, so week over week the (dominant)
+    unchanged share of the web is never re-parsed.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        extraction_cache: Optional[ExtractionCache] = None,
+        use_fork: Optional[bool] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.extraction_cache = (
+            extraction_cache if extraction_cache is not None else ExtractionCache()
+        )
+        self.use_fork = use_fork
+        #: "fork" or "inline" — how the most recent sweep actually ran.
+        self.last_mode: Optional[str] = None
+        #: The most recent sweep's report (benchmarks read shard walls).
+        self.last_report: Optional[SweepReport] = None
+
+    def sweep(
+        self, monitor: WeeklyMonitor, fqdns: Sequence[Name], at: datetime
+    ) -> SweepReport:
+        shards = partition(fqdns, self.workers)
+        want_fork = (
+            self.use_fork if self.use_fork is not None else effective_cpus() > 1
+        )
+        forked = len(shards) > 1 and want_fork and fork_available()
+        started = time.perf_counter()
+        if forked:
+            results = run_shards_forked(monitor, shards, at, self.extraction_cache)
+        else:
+            results = [
+                run_shard(monitor, index, shard, at, self.extraction_cache, forked=False)
+                for index, shard in enumerate(shards)
+            ]
+        self.last_mode = "fork" if forked else "inline"
+        report = self._apply(monitor, results, forked, at)
+        report.workers = self.workers
+        report.mode = self.last_mode
+        report.wall_seconds = time.perf_counter() - started
+        self.last_report = report
+        return report
+
+    def _apply(
+        self,
+        monitor: WeeklyMonitor,
+        results: List[ShardResult],
+        forked: bool,
+        at: datetime,
+    ) -> SweepReport:
+        """Replay shard results into the parent, in shard order."""
+        client = monitor.client
+        plan = client.fault_plan
+        breaker = client.breaker
+        resolver = client.resolver
+        report = SweepReport()
+        for result in results:
+            if forked:
+                # The child's mutations died with it: apply the deltas.
+                monitor.samples_taken += result.samples_taken
+                monitor.sitemap_fetches += result.sitemap_fetches
+                client.retries_total += result.retries
+                client.backoff_seconds_total += result.backoff_seconds
+                if breaker is not None:
+                    breaker.trips += result.breaker_trips
+                if plan is not None:
+                    for kind, count in result.injected.items():
+                        plan.stats.injected[kind] = (
+                            plan.stats.injected.get(kind, 0) + count
+                        )
+                if resolver.passive_dns is not None:
+                    for record, when in result.observations:
+                        resolver.passive_dns.observe(record, when)
+                self.extraction_cache.html.update(result.new_html)
+                self.extraction_cache.sitemap.update(result.new_sitemap)
+                self.extraction_cache.hits += result.cache_hits
+                self.extraction_cache.misses += result.cache_misses
+            for entry in result.sampled:
+                if isinstance(entry, SnapshotFeatures):
+                    is_new, previous = monitor.store.record(entry)
+                    if is_new:
+                        report.changed.append((entry, previous))
+                else:
+                    # Touch marker: the shard proved the state unchanged.
+                    monitor.store.touch(entry, at)
+            report.failures.extend(result.failures)
+            report.samples_taken += result.samples_taken
+            report.sitemap_fetches += result.sitemap_fetches
+            report.retries += result.retries
+            report.backoff_seconds += result.backoff_seconds
+            report.breaker_trips += result.breaker_trips
+            for kind, count in result.injected.items():
+                report.injected[kind] = report.injected.get(kind, 0) + count
+            report.cache_hits += result.cache_hits
+            report.cache_misses += result.cache_misses
+            report.shard_sizes.append(result.size)
+            report.shard_walls.append(result.wall_seconds)
+        return report

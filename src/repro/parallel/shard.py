@@ -1,0 +1,593 @@
+"""Shard-local sweep execution.
+
+One *shard* is a contiguous slice of the monitored-FQDN list, sampled
+start to finish by one worker.  :func:`run_shard` is pure with respect
+to the snapshot store: samples come back as data in input order and the
+executor records them into the parent store in shard order, which is
+what makes a sharded sweep byte-identical to a serial one — the store,
+the changed-pairs list and the quarantine list all see the exact same
+sequence either way.
+
+Workers are plain ``os.fork`` children (copy-on-write world, no spawn
+re-import cost) that ship their :class:`ShardResult` back over a pipe
+as one length-prefixed pickle.  Anything a worker *would* have mutated
+in the parent — passive-DNS observations, monitor/client counters,
+fault statistics, new extraction-cache entries — is captured as a delta
+in the result and replayed by the parent, again in shard order.
+
+When the world is healthy (no fault plan drawing, no breaker, no retry
+budget, plain HTTP) a shard takes the *fused* sampling path: one
+resolution per FQDN, the index served directly off the routed host, and
+the sitemap fetched by reusing the index resolution instead of
+re-resolving.  The fused path replicates ``WeeklyMonitor.sample``
+semantics exactly — including recording non-5xx sitemap responses of
+any status — so its features are byte-identical to the generic path's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from datetime import datetime
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.monitoring import (
+    ExtractionCache,
+    SnapshotFeatures,
+    TRANSIENT_SAMPLE_STATUSES,
+    WeeklyMonitor,
+)
+from repro.dns.names import Name
+from repro.dns.passive_dns import PassiveDNS
+from repro.dns.records import RRType
+from repro.dns.resolver import ResolutionStatus, Resolver
+from repro.web.client import FetchStatus
+from repro.web.http import HttpRequest
+from repro.web.site import StaticSite
+
+
+#: Enum ``.value`` reads hoisted out of the fused loop — each is a
+#: descriptor call per access, and the loop needs several per sample.
+_OK_VALUE = FetchStatus.OK.value
+_NXDOMAIN_VALUE = FetchStatus.DNS_NXDOMAIN.value
+_TIMEOUT_VALUE = FetchStatus.TIMEOUT.value
+_DNS_ERROR_VALUE = FetchStatus.DNS_ERROR.value
+_CONNECTION_FAILED_VALUE = FetchStatus.CONNECTION_FAILED.value
+_HTTP_ERROR_VALUE = FetchStatus.HTTP_ERROR.value
+
+#: Body → truncated sha256 memo.  Sites store page bodies as strings
+#: and hand back the *same* object until the content changes, so the
+#: steady-state lookup is an identity hit; a changed body is a new
+#: string and misses.  sha256 is a pure function of the text, so even
+#: an equal-but-distinct string mapping to the cached digest is
+#: correct.  Bounded: cleared wholesale when it outgrows the cap.
+_HASH_MEMO: Dict[str, str] = {}
+_HASH_MEMO_MAX = 4096
+
+
+def _body_hash(body: str) -> str:
+    cached = _HASH_MEMO.get(body)
+    if cached is None:
+        if len(_HASH_MEMO) >= _HASH_MEMO_MAX:
+            _HASH_MEMO.clear()
+        cached = hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+        _HASH_MEMO[body] = cached
+    return cached
+
+
+def _touch_memo_store(
+    monitor, resolver, fqdn: Name, ip: str, host, previous
+) -> None:
+    """Memoize a touch outcome so next week can revalidate by identity.
+
+    An entry captures every object whose identity pins the sample
+    outcome: the resolver's (still-valid) memo entry for the name, the
+    routed edge host, the site and the exact body string it serves at
+    "/", and the stored state the touch extended.  Any DNS change bumps
+    a version and kills the resolver entry; any redeploy swaps the body
+    string; any reroute swaps the site; any recorded change swaps the
+    stored state — each breaks one identity check and forces the full
+    fused sample.  Only plain :class:`StaticSite` content qualifies:
+    its ``handle`` is pure, so an identical body object proves an
+    identical response.
+    """
+    site_for = getattr(host, "site_for", None)
+    if site_for is None:
+        return
+    site = site_for(fqdn)
+    if type(site) is not StaticSite:
+        return
+    body = site.get("/")
+    if body is None:
+        return
+    res_entry = resolver.memo_entry(fqdn, RRType.A)
+    if res_entry is None:
+        return
+    feed = resolver.passive_dns
+    observations = None
+    if type(feed) is PassiveDNS:
+        observations = tuple(
+            feed.observation_for(record)
+            for group in Resolver.memo_observed(res_entry)
+            for record in group
+        )
+        if any(obs is None for obs in observations):
+            observations = None
+    memo = getattr(monitor, "_touch_memo", None)
+    if memo is None:
+        memo = {}
+        monitor._touch_memo = memo
+    memo[fqdn] = (res_entry, observations, feed, ip, host, site, body, previous)
+
+
+def _touch_fast(monitor, client, resolver, memo, fqdn: Name, at: datetime) -> bool:
+    """Re-prove last week's touch outcome by versions and identity.
+
+    True means the sample provably repeats: DNS unchanged (resolver
+    memo entry still valid and identical), same edge host, same site
+    object serving the same body string, same stored state — so the
+    only side effects are the passive-DNS observation bumps the full
+    resolve would have made, replayed here, plus the sample counter.
+    """
+    entry = memo.get(fqdn)
+    if entry is None:
+        return False
+    if resolver.memo_entry(fqdn, RRType.A) is not entry[0]:
+        del memo[fqdn]
+        return False
+    host = client.network.host_at(entry[3])
+    if host is not entry[4]:
+        del memo[fqdn]
+        return False
+    site = host.site_for(fqdn)
+    if site is not entry[5] or site.get("/") is not entry[6]:
+        del memo[fqdn]
+        return False
+    if monitor.store.latest(fqdn) is not entry[7]:
+        del memo[fqdn]
+        return False
+    observations = entry[1]
+    feed = resolver.passive_dns
+    if observations is not None and feed is entry[2]:
+        # Direct bump — exactly PassiveDNS.observe's existing-entry
+        # branch, minus the key lookup.
+        for obs in observations:
+            if at > obs.last_seen:
+                obs.last_seen = at
+            elif at < obs.first_seen:
+                obs.first_seen = at
+            obs.count += 1
+    elif feed is not None:
+        # Interposed feed (forked-mode recorder): go through observe()
+        # so the replay log sees every observation.
+        for group in Resolver.memo_observed(entry[0]):
+            for record in group:
+                feed.observe(record, at)
+    monitor.samples_taken += 1
+    return True
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard's sweep produced, as replayable data.
+
+    Counter fields are *deltas* against the worker's pre-sweep state,
+    so the parent can apply them whether the shard ran forked (parent
+    state untouched) or inline (parent state already mutated — deltas
+    then only feed the report, never re-applied).
+    """
+
+    index: int
+    size: int
+    #: Store-eligible samples in input order (transient finals
+    #: excluded).  An entry is either a full :class:`SnapshotFeatures`
+    #: or a bare FQDN — a *touch marker* meaning the observed state
+    #: provably equals the latest stored one, so the parent just bumps
+    #: that state's observation window (``SnapshotStore.touch``) the
+    #: way ``record`` would have deduplicated the full sample.
+    sampled: List[Union[SnapshotFeatures, Name]] = field(default_factory=list)
+    #: Retry-exhausted (fqdn, fetch_status) pairs, in input order.
+    failures: List[Tuple[Name, str]] = field(default_factory=list)
+    samples_taken: int = 0
+    sitemap_fetches: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    breaker_trips: int = 0
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: Passive-DNS (record, at) replay log — populated in forked mode
+    #: only; inline shards observe the parent feed directly.
+    observations: List[Tuple[object, datetime]] = field(default_factory=list)
+    #: Extraction-cache entries this shard added (forked mode only).
+    new_html: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    new_sitemap: Dict[str, Tuple[int, int, Tuple[str, ...]]] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    fused: bool = False
+
+
+class _RecordingPassiveDNS:
+    """Proxy feed that logs every observation while forwarding it."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.log: List[Tuple[object, datetime]] = []
+
+    def observe(self, record, at):
+        self.log.append((record, at))
+        return self._inner.observe(record, at)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def partition(items: Sequence, shards: int) -> List[List]:
+    """Split ``items`` into at most ``shards`` contiguous, balanced slices.
+
+    Earlier slices take the remainder, sizes differ by at most one, and
+    concatenating the slices reproduces the input order — the property
+    the deterministic shard-order merge relies on.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    items = list(items)
+    count = min(shards, len(items))
+    if count == 0:
+        return []
+    base, extra = divmod(len(items), count)
+    slices: List[List] = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        slices.append(items[start:start + size])
+        start += size
+    return slices
+
+
+def fast_path_eligible(monitor: WeeklyMonitor) -> bool:
+    """Whether the fused sampling loop is behaviour-equivalent here.
+
+    The fused loop skips the client's fault/breaker/retry/TLS machinery,
+    so it is only taken when none of that machinery can fire: no active
+    fault classes, no breaker, single-attempt retry policy, plain HTTP.
+    """
+    client = monitor.client
+    plan = client.fault_plan
+    return (
+        not monitor.config.prefer_https
+        and client.breaker is None
+        and monitor.config.retry.max_attempts == 1
+        and (plan is None or not plan.config.any_active)
+    )
+
+
+def run_shard(
+    monitor: WeeklyMonitor,
+    index: int,
+    fqdns: Sequence[Name],
+    at: datetime,
+    cache: Optional[ExtractionCache],
+    forked: bool,
+) -> ShardResult:
+    """Sample one shard and return its results as data.
+
+    Never records into the snapshot store.  In ``forked`` mode the
+    passive-DNS feed is interposed so observations can be replayed by
+    the parent, and new extraction-cache entries are collected for
+    shipping; inline mode mutates the parent's feed/cache directly.
+    """
+    client = monitor.client
+    resolver = client.resolver
+    plan = client.fault_plan
+    started = time.perf_counter()
+    samples0 = monitor.samples_taken
+    sitemap0 = monitor.sitemap_fetches
+    retries0 = client.retries_total
+    backoff0 = client.backoff_seconds_total
+    trips0 = client.breaker.trips if client.breaker is not None else 0
+    injected0 = dict(plan.stats.injected) if plan is not None else {}
+    previous_cache = monitor.extraction_cache
+    monitor.extraction_cache = cache
+    hits0 = cache.hits if cache is not None else 0
+    misses0 = cache.misses if cache is not None else 0
+    html_keys0 = set(cache.html) if (forked and cache is not None) else set()
+    sitemap_keys0 = set(cache.sitemap) if (forked and cache is not None) else set()
+    recorder = None
+    if forked and resolver.passive_dns is not None:
+        recorder = _RecordingPassiveDNS(resolver.passive_dns)
+        resolver.passive_dns = recorder
+
+    result = ShardResult(index=index, size=len(fqdns))
+    try:
+        fused = fast_path_eligible(monitor)
+        result.fused = fused
+        touch_memo: Dict[Name, tuple] = {}
+        if fused:
+            # Part of the fast path: version-validated resolution
+            # memoization.  Forked workers enable it on their own copy;
+            # inline mode enables it process-wide, which is safe —
+            # every hit is revalidated against the zone versions and
+            # replays identical passive-DNS observations.
+            resolver.enable_memo()
+            touch_memo = getattr(monitor, "_touch_memo", None)
+            if touch_memo is None:
+                touch_memo = {}
+                monitor._touch_memo = touch_memo
+        headers = {"User-Agent": monitor.config.user_agent}
+        for fqdn in fqdns:
+            if fused:
+                if _touch_fast(monitor, client, resolver, touch_memo, fqdn, at):
+                    result.sampled.append(fqdn)
+                    continue
+                features = _sample_fused(monitor, fqdn, at, headers)
+                if not isinstance(features, SnapshotFeatures):
+                    # Touch marker: the state is unchanged, ship the
+                    # name alone and let the parent bump the window.
+                    result.sampled.append(features)
+                    continue
+            else:
+                features = monitor.sample(fqdn, at)
+            if features.fetch_status in TRANSIENT_SAMPLE_STATUSES:
+                result.failures.append((fqdn, features.fetch_status))
+            else:
+                result.sampled.append(features)
+    finally:
+        monitor.extraction_cache = previous_cache
+        if recorder is not None:
+            resolver.passive_dns = recorder._inner
+
+    result.samples_taken = monitor.samples_taken - samples0
+    result.sitemap_fetches = monitor.sitemap_fetches - sitemap0
+    result.retries = client.retries_total - retries0
+    result.backoff_seconds = client.backoff_seconds_total - backoff0
+    if client.breaker is not None:
+        result.breaker_trips = client.breaker.trips - trips0
+    if plan is not None:
+        for kind, count in plan.stats.injected.items():
+            delta = count - injected0.get(kind, 0)
+            if delta:
+                result.injected[kind] = delta
+    if recorder is not None:
+        result.observations = recorder.log
+    if cache is not None:
+        result.cache_hits = cache.hits - hits0
+        result.cache_misses = cache.misses - misses0
+        if forked:
+            result.new_html = {
+                key: cache.html[key] for key in cache.html.keys() - html_keys0
+            }
+            result.new_sitemap = {
+                key: cache.sitemap[key] for key in cache.sitemap.keys() - sitemap_keys0
+            }
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _sample_fused(
+    monitor: WeeklyMonitor, fqdn: Name, at: datetime, headers: Dict[str, str]
+) -> Union[SnapshotFeatures, Name]:
+    """One weekly sample on the fused healthy-world path.
+
+    Semantics-for-semantics replica of ``WeeklyMonitor.sample`` with
+    the fault/breaker/retry/TLS seams (guaranteed quiescent by
+    :func:`fast_path_eligible`) elided: one resolution serves both the
+    index and the sitemap fetch, the routed host is called directly,
+    the body is encoded and hashed once, and features are built in a
+    single construction instead of a ``replace`` chain.
+
+    Returns the bare ``fqdn`` (a *touch marker*) instead of features
+    when the observed state provably equals the latest stored state:
+    same resolution triple, an OK fetch with the same HTTP status and
+    body hash, and carried (already-fetched) sitemap fields — exactly
+    the fields of ``SnapshotFeatures.state_key``, so ``record`` would
+    have deduplicated the sample anyway.  The marker skips the features
+    construction entirely; the store just extends the current state's
+    observation window.
+    """
+    monitor.samples_taken += 1
+    client = monitor.client
+    resolution = client.resolver.resolve(fqdn, at=at)
+    status = resolution.status
+    dns_status = status.value
+    cname_chain = tuple(resolution.cname_chain)
+    addresses = tuple(resolution.addresses)
+    if status is not ResolutionStatus.NOERROR or not resolution.records:
+        base = dict(
+            fqdn=fqdn,
+            at=at,
+            dns_status=dns_status,
+            cname_chain=cname_chain,
+            addresses=addresses,
+        )
+        if status is ResolutionStatus.NXDOMAIN:
+            return SnapshotFeatures(fetch_status=_NXDOMAIN_VALUE, **base)
+        if status is ResolutionStatus.TIMEOUT:
+            return SnapshotFeatures(fetch_status=_TIMEOUT_VALUE, **base)
+        return SnapshotFeatures(fetch_status=_DNS_ERROR_VALUE, **base)
+    host = client.network.host_at(addresses[0])
+    if host is None or not hasattr(host, "serve"):
+        return SnapshotFeatures(
+            fetch_status=_CONNECTION_FAILED_VALUE,
+            fqdn=fqdn,
+            at=at,
+            dns_status=dns_status,
+            cname_chain=cname_chain,
+            addresses=addresses,
+        )
+    # ``headers`` is shared, not copied: every in-tree handler treats
+    # the request as read-only, and the request object never outlives
+    # this call.
+    response = host.serve(
+        HttpRequest(host=fqdn, path="/", scheme="http", headers=headers)
+    )
+    http_status = response.status
+    if http_status >= 500 or http_status == 429:
+        return SnapshotFeatures(
+            fetch_status=_HTTP_ERROR_VALUE,
+            http_status=http_status,
+            fqdn=fqdn,
+            at=at,
+            dns_status=dns_status,
+            cname_chain=cname_chain,
+            addresses=addresses,
+        )
+    body = response.body
+    body_hash = _body_hash(body)
+    previous = monitor.store.latest(fqdn)
+    if (
+        previous is not None
+        and previous.html_hash == body_hash
+        and previous.fetch_status == _OK_VALUE
+        and previous.http_status == http_status
+        and previous.dns_status == dns_status
+        and previous.cname_chain == cname_chain
+        and previous.addresses == addresses
+        and previous.sitemap_count >= 0
+    ):
+        _touch_memo_store(monitor, client.resolver, fqdn, addresses[0], host, previous)
+        return fqdn
+    if previous is not None and previous.html_hash == body_hash:
+        features = replace(
+            previous,
+            at=at,
+            dns_status=dns_status,
+            cname_chain=cname_chain,
+            addresses=addresses,
+            fetch_status=_OK_VALUE,
+            attempts=1,
+            scheme="http",
+        )
+    else:
+        cache = monitor.extraction_cache
+        fields = cache.html.get(body_hash) if cache is not None else None
+        if fields is not None:
+            cache.hits += 1
+        else:
+            fields = monitor._extract_html_fields(body)
+            if cache is not None:
+                cache.misses += 1
+                cache.html[body_hash] = fields
+        features = SnapshotFeatures(
+            fetch_status=_OK_VALUE,
+            http_status=http_status,
+            html_hash=body_hash,
+            fqdn=fqdn,
+            at=at,
+            dns_status=dns_status,
+            cname_chain=cname_chain,
+            addresses=addresses,
+            **fields,
+        )
+    if previous is None or previous.html_hash != features.html_hash or previous.sitemap_count < 0:
+        # The sitemap rides the index resolution: nothing mutates the
+        # world mid-sweep, so re-resolving would return the same route.
+        # Like the generic path, any non-5xx/429 response body — a 404
+        # page included — is recorded as the sitemap observation.
+        monitor.sitemap_fetches += 1
+        sitemap_response = host.serve(
+            HttpRequest(
+                host=fqdn, path="/sitemap.xml", scheme="http", headers=headers
+            )
+        )
+        if not (sitemap_response.status >= 500 or sitemap_response.status == 429):
+            size, count, sample = monitor.extract_sitemap_fields(sitemap_response.body)
+            features = replace(
+                features, sitemap_size=size, sitemap_count=count, sitemap_sample=sample
+            )
+    return features
+
+
+# -- fork plumbing ---------------------------------------------------------
+
+
+def fork_available() -> bool:
+    return hasattr(os, "fork")
+
+
+def _write_all(fd: int, data: bytes) -> None:
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        view = view[written:]
+
+
+def _read_exact(fd: int, length: int) -> bytes:
+    chunks: List[bytes] = []
+    remaining = length
+    while remaining:
+        chunk = os.read(fd, min(remaining, 1 << 20))
+        if not chunk:
+            raise RuntimeError("shard worker closed its pipe before reporting")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def run_shards_forked(
+    monitor: WeeklyMonitor,
+    shards: List[List[Name]],
+    at: datetime,
+    cache: Optional[ExtractionCache],
+) -> List[ShardResult]:
+    """Run every shard in its own forked worker; results in shard order.
+
+    Each child samples its slice against the copy-on-write world and
+    ships one length-prefixed pickle back over a pipe, then exits with
+    ``os._exit`` so no parent state (buffers, atexit hooks) replays.
+    The parent drains pipes in shard order and reaps every child before
+    surfacing any worker error.
+    """
+    children: List[Tuple[int, int]] = []
+    for index, shard in enumerate(shards):
+        read_fd, write_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            os.close(read_fd)
+            exit_code = 0
+            try:
+                try:
+                    result = run_shard(monitor, index, shard, at, cache, forked=True)
+                    payload = pickle.dumps(
+                        ("ok", result), protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                except BaseException:
+                    payload = pickle.dumps(
+                        ("err", f"shard {index}:\n{traceback.format_exc()}"),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                _write_all(write_fd, struct.pack("<Q", len(payload)) + payload)
+                os.close(write_fd)
+            except BaseException:
+                exit_code = 1
+            os._exit(exit_code)
+        os.close(write_fd)
+        children.append((pid, read_fd))
+
+    results: List[ShardResult] = []
+    errors: List[str] = []
+    for pid, read_fd in children:
+        payload = None
+        try:
+            header = _read_exact(read_fd, 8)
+            (length,) = struct.unpack("<Q", header)
+            payload = _read_exact(read_fd, length)
+        except Exception as error:
+            errors.append(f"worker pid {pid}: {error}")
+        finally:
+            os.close(read_fd)
+            os.waitpid(pid, 0)
+        if payload is None:
+            continue
+        kind, value = pickle.loads(payload)
+        if kind == "err":
+            errors.append(value)
+        else:
+            results.append(value)
+    if errors:
+        raise RuntimeError("sweep shard worker(s) failed:\n" + "\n".join(errors))
+    return results

@@ -155,8 +155,11 @@ class HttpClient:
             attempt += 1
             outcome = self._fetch_once(fqdn, path, scheme, attempt_at, headers, cookie_jar)
             outcome.attempts = attempt
+            # Every attempt feeds the breaker, not just the final one:
+            # a retry policy must not understate an edge's failure
+            # streak by hiding the transient attempts it rode out.
+            self._note_breaker(outcome, attempt_at)
             if not outcome.transient or attempt >= policy.max_attempts:
-                self._note_breaker(outcome, attempt_at)
                 return outcome
             self.retries_total += 1
             if attempt_at is not None:
@@ -232,12 +235,22 @@ class HttpClient:
         return FetchOutcome(FetchStatus.OK, resolution, response=response, ip=ip)
 
     @property
+    def resolver(self) -> Resolver:
+        """The DNS layer this client resolves through."""
+        return self._resolver
+
+    @property
+    def network(self) -> Network:
+        """The transport layer this client connects through."""
+        return self._network
+
+    @property
     def _suppressed(self) -> bool:
         """Control-plane fetch in progress: no injection, no breaker."""
         return self.fault_plan is not None and not self.fault_plan.active
 
     def _note_breaker(self, outcome: FetchOutcome, at: Optional[datetime]) -> None:
-        """Feed the final outcome into the per-edge circuit breaker."""
+        """Feed one attempt's outcome into the per-edge circuit breaker."""
         if self.breaker is None or outcome.ip is None or self._suppressed:
             return
         if outcome.status == FetchStatus.CIRCUIT_OPEN:

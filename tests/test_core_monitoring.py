@@ -3,6 +3,8 @@
 import random
 from datetime import datetime, timedelta
 
+import pytest
+
 from repro.core.monitoring import MonitorConfig, SnapshotStore, WeeklyMonitor
 from repro.dns.records import RRType, ResourceRecord
 from repro.faults.plan import FaultConfig, FaultPlan
@@ -276,3 +278,87 @@ def test_sweep_quarantines_exhausted_transient_failures():
     assert batches == [[]]
     assert monitor.last_sweep_failures == [(bad, "connection-reset")]
     assert monitor.store.latest(bad) is None
+
+
+# -- sweep_iter call-time state (regressions) ------------------------------
+
+
+def test_sweep_iter_validates_eagerly_at_call_time(internet):
+    monitor = WeeklyMonitor(internet.client)
+    # The ValueError must fire at the call, not at the first next():
+    # a lazily-raising generator silently validates nothing if dropped.
+    with pytest.raises(ValueError):
+        monitor.sweep_iter([], T0, batch_size=0)
+
+
+def test_sweep_iter_failure_sink_is_per_call():
+    chaos = _chaos_internet(connection_reset_rate=1.0)
+    _, _, bad = _victim(chaos)
+    monitor = WeeklyMonitor(chaos.client)
+    mine: list = []
+    batches = list(monitor.sweep_iter([bad], T0, failures=mine))
+    assert batches == [[]]
+    assert mine == [(bad, "connection-reset")]
+    # The compat view aliases the caller's sink for the latest sweep.
+    assert monitor.last_sweep_failures is mine
+
+
+def test_interleaved_sweeps_do_not_clobber_failure_lists():
+    # Regression: the failure list used to be reset lazily inside the
+    # generator body, so starting a second sweep before finishing the
+    # first wiped the first sweep's quarantine list mid-flight.
+    chaos = _chaos_internet(connection_reset_rate=1.0)
+    _, _, bad = _victim(chaos)
+    _, _, bad2 = _victim(chaos, name="shop2")
+    monitor = WeeklyMonitor(chaos.client)
+    first_sink: list = []
+    second_sink: list = []
+    first = monitor.sweep_iter([bad], T0, batch_size=1, failures=first_sink)
+    second = monitor.sweep_iter([bad2], T0, batch_size=1, failures=second_sink)
+    next(second)  # start the second sweep before draining the first
+    list(first)
+    list(second)
+    assert first_sink == [(bad, "connection-reset")]
+    assert second_sink == [(bad2, "connection-reset")]
+
+
+# -- prefer_https (regression: the knob used to be dead) -------------------
+
+
+def test_prefer_https_records_https_scheme_when_cert_is_valid(internet):
+    _, resource, fqdn = _victim(internet)
+    internet.issue_certificate(resource, fqdn, T0)
+    monitor = WeeklyMonitor(
+        internet.client, config=MonitorConfig(prefer_https=True)
+    )
+    features = monitor.sample(fqdn, T0)
+    assert features.reachable
+    assert features.scheme == "https"
+    assert features.title == "Portal"
+
+
+def test_prefer_https_falls_back_to_http_without_certificate(internet):
+    _, _, fqdn = _victim(internet)
+    monitor = WeeklyMonitor(
+        internet.client, config=MonitorConfig(prefer_https=True)
+    )
+    features = monitor.sample(fqdn, T0)
+    # TLS failed (no cert), the HTTP fallback carried the sample.
+    assert features.reachable
+    assert features.scheme == "http"
+
+
+def test_scheme_is_not_part_of_state_identity(internet):
+    _, resource, fqdn = _victim(internet)
+    http_monitor = WeeklyMonitor(internet.client)
+    first = http_monitor.sample(fqdn, T0)
+    http_monitor.store.record(first)
+    internet.issue_certificate(resource, fqdn, T0)
+    https_monitor = WeeklyMonitor(
+        internet.client, store=http_monitor.store,
+        config=MonitorConfig(prefer_https=True),
+    )
+    second = https_monitor.sample(fqdn, T0 + timedelta(weeks=1))
+    assert second.scheme == "https"
+    # Same content over a different scheme is the same observed state.
+    assert second.state_key() == first.state_key()

@@ -372,8 +372,8 @@ def test_breaker_short_circuits_failing_edge():
 
 
 def test_breaker_retries_under_one_fetch_count_once_per_attempt():
-    # Final-outcome accounting: a retried fetch feeds the breaker once,
-    # with its final status, not once per attempt.
+    # Per-attempt accounting: the failed first attempt counts against
+    # the edge's streak, and the successful retry resets it to zero.
     breaker = CircuitBreaker(failure_threshold=2)
     client = _wire_client(fault_plan=_FlakyOncePlan(), breaker=breaker)
     outcome = client.fetch("a.example.com", at=T0, retry=RetryPolicy.standard(3))
@@ -399,3 +399,51 @@ def test_fault_streams_fork_deterministically_from_master():
     a = FaultPlan(FaultConfig.chaos(0.3), streams_a)
     b = FaultPlan(FaultConfig.chaos(0.3), streams_b)
     assert _decision_trace(a) == _decision_trace(b)
+
+
+# -- breaker edge cases (regressions) -------------------------------------
+
+
+def test_breaker_open_with_lost_instant_fails_open_to_trial():
+    # Regression: an OPEN circuit whose ``opened_at`` was lost (e.g. a
+    # pre-upgrade checkpoint) used to short-circuit its edge forever;
+    # it must fail open into a single half-open trial instead.
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=timedelta(weeks=1))
+    breaker.record_failure("1.2.3.4", T0)
+    assert breaker.state_of("1.2.3.4") == OPEN
+    breaker._circuits["1.2.3.4"].opened_at = None
+    assert breaker.allow("1.2.3.4", T0)  # no cooldown arithmetic possible
+    assert breaker.state_of("1.2.3.4") == HALF_OPEN
+    breaker.record_success("1.2.3.4")
+    assert breaker.state_of("1.2.3.4") == CLOSED
+
+
+def test_breaker_half_open_admits_exactly_one_probe():
+    # Regression: HALF_OPEN used to admit every caller until an outcome
+    # landed; only one trial probe may be in flight at a time.
+    breaker = CircuitBreaker(failure_threshold=1, cooldown=timedelta(weeks=1))
+    breaker.record_failure("1.2.3.4", T0)
+    trial_at = T0 + timedelta(weeks=1)
+    assert breaker.allow("1.2.3.4", trial_at)
+    assert breaker.state_of("1.2.3.4") == HALF_OPEN
+    # The trial is pending: everyone else keeps short-circuiting.
+    assert not breaker.allow("1.2.3.4", trial_at)
+    assert not breaker.allow("1.2.3.4", trial_at + timedelta(hours=1))
+    breaker.record_failure("1.2.3.4", trial_at)
+    assert breaker.state_of("1.2.3.4") == OPEN
+    # Next cooldown: a fresh trial becomes available again.
+    assert breaker.allow("1.2.3.4", trial_at + timedelta(weeks=1))
+
+
+def test_breaker_counts_intermediate_retry_attempts():
+    # Regression: only the *final* outcome of a multi-attempt fetch used
+    # to reach the breaker, so an edge failing every first try never
+    # accumulated a streak.  Every attempt must count: with a threshold
+    # of 1, the first failed attempt trips the circuit and the very next
+    # retry attempt short-circuits mid-fetch.
+    breaker = CircuitBreaker(failure_threshold=1)
+    client = _wire_client(fault_plan=_dns_plan(http_503_rate=1.0), breaker=breaker)
+    outcome = client.fetch("a.example.com", at=T0, retry=RetryPolicy.standard(3))
+    assert outcome.status == FetchStatus.CIRCUIT_OPEN
+    assert outcome.attempts == 2  # first try failed, retry short-circuited
+    assert breaker.trips == 1
