@@ -12,6 +12,7 @@ from repro.core.collection import collect_fqdns
 from repro.core.monitoring import MonitorConfig, WeeklyMonitor
 from repro.core.reporting import render_table
 from repro.core.scenario import ScenarioConfig, run_scenario
+from repro.obs import OBS, MetricsRegistry, Tracer
 
 
 def test_algorithm1_throughput(paper, benchmark):
@@ -72,5 +73,47 @@ def test_pipeline_stage_timings(emit):
              "retries", "fail+skip", "quarantined"],
             rows,
             title=f"Pipeline stage metrics (tiny, {result.weeks_run} weeks)",
+        ),
+    )
+
+
+def test_observability_registry(emit):
+    """Hot-path counters off a traced tiny 2-worker run.
+
+    The same registry ``--metrics``/``profile`` read: asserts the
+    instrumentation actually fires on the sweep hot path (resolver
+    memo, zone memos, sample-path split) and emits the counter table
+    next to the stage timings in ``benchmarks/results/``.
+    """
+    registry = MetricsRegistry()
+    tracer = Tracer(sample_every=1)  # aggregate-only, no file
+    config = ScenarioConfig.tiny()
+    config.workers = 2
+    OBS.configure(metrics=registry, tracer=tracer)
+    try:
+        result = run_scenario(config)
+    finally:
+        OBS.reset()
+        tracer.close()
+    counters = registry.counters()
+    assert counters["resolver.queries"] > 0
+    assert counters["monitor.samples"] > 0
+    assert counters["zone.lookup.memo_misses"] > 0
+    assert counters.get("sweep.shards.fused", 0) > 0
+    sampled = (
+        counters.get("sweep.sample.touch_fast", 0)
+        + counters.get("sweep.sample.touch", 0)
+        + counters.get("sweep.sample.full", 0)
+        + counters.get("sweep.sample.generic", 0)
+    )
+    sweep = result.metrics.stage("monitor-sweep")
+    assert sampled == sweep.items_processed
+    spans = tracer.aggregates()
+    assert "stage.monitor-sweep" in spans and "sweep.shard" in spans
+    emit(
+        "observability_registry",
+        render_table(
+            ["series", "value"], registry.rows(),
+            title=f"Metrics registry (tiny, {result.weeks_run} weeks, 2 workers)",
         ),
     )

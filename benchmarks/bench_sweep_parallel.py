@@ -63,6 +63,9 @@ def run_variant(scale: str, workers: int, weeks: Optional[int]) -> Dict:
         cache_hits = executor.extraction_cache.hits
         cache_misses = executor.extraction_cache.misses
         mode = executor.last_mode or "inline"
+    # Last week's report: wall is elapsed (max under merge), cpu is
+    # summed shard sampling time — the satellite-fixed distinction.
+    report = executor.last_report if executor is not None else None
     return {
         "workers": workers,
         "mode": mode,
@@ -71,6 +74,8 @@ def run_variant(scale: str, workers: int, weeks: Optional[int]) -> Dict:
         "throughput": sweep.items_per_second,
         "cache_hits": cache_hits,
         "cache_misses": cache_misses,
+        "last_sweep_wall_s": report.wall_seconds if report is not None else 0.0,
+        "last_sweep_cpu_s": report.cpu_seconds if report is not None else 0.0,
         "digest": hashlib.sha256(
             dataset_to_json(result.dataset, indent=2).encode("utf-8")
         ).hexdigest(),
@@ -129,6 +134,8 @@ def render(runs: List[Dict], scale: str) -> str:
             f"{run['wall_s']:.2f}",
             f"{run['throughput']:,.0f}",
             f"{run['throughput'] / baseline:.2f}x" if baseline else "-",
+            f"{run.get('last_sweep_cpu_s', 0.0):.3f}/"
+            f"{run.get('last_sweep_wall_s', 0.0):.3f}",
             run["cache_hits"],
             run["cache_misses"],
         )
@@ -136,7 +143,7 @@ def render(runs: List[Dict], scale: str) -> str:
     ]
     return render_table(
         ["workers", "fqdns swept", "sweep wall s", "fqdn/s", "speedup",
-         "cache hits", "cache misses"],
+         "last wk cpu/wall s", "cache hits", "cache misses"],
         rows,
         title=(
             f"Sweep throughput, serial vs sharded ({scale} scenario, "
@@ -182,6 +189,12 @@ def test_sweep_parallel_throughput(emit):
     # baseline; the >= 2x acceptance gate applies to the default-scale
     # standalone run, where steady-state weeks dominate.
     assert speedup >= 1.0, f"4-worker sweep slower than serial: {speedup:.2f}x"
+    # The wall/cpu split must be sane on every variant: elapsed wall is
+    # never the N-fold shard-sum the old merge bug produced.
+    for run in runs:
+        assert run["last_sweep_wall_s"] > 0.0 and run["last_sweep_cpu_s"] > 0.0
+        if run["mode"] == "serial":
+            assert abs(run["last_sweep_wall_s"] - run["last_sweep_cpu_s"]) < 1e-9
 
 
 # -- standalone entry point ------------------------------------------------

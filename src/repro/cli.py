@@ -9,11 +9,21 @@
     python -m repro report     [--seed N] [--scale ...]
     python -m repro audit      [--seed N] [--scale ...]
     python -m repro pipeline   [--seed N] [--scale ...]
+    python -m repro profile    [--seed N] [--scale ...]
 
 ``run`` executes a scenario and prints the headline summary (optionally
 exporting the abuse dataset to JSON); ``report`` adds the per-analysis
 breakdowns; ``audit`` plays the defender and surveys the attack surface;
-``pipeline`` prints the engine's per-stage timing/throughput table.
+``pipeline`` prints the engine's per-stage timing/throughput table;
+``profile`` runs with observability on and prints the top spans, cache
+hit rates and retry heat.
+
+Every subcommand accepts the observability knobs: ``--metrics`` prints
+the deterministic counter registry after the run, ``--trace PATH``
+streams span/metric events as JSONL (sim-clock *and* wall-clock
+timestamps per event), and ``--trace-sample N`` keeps every Nth span
+per span name.  With none of them given the observability layer stays
+null-object disabled and adds zero cost.
 
 Every subcommand accepts the chaos knobs: ``--faults [LEVEL]`` turns on
 deterministic fault injection (default level 0.05), ``--fault-seed N``
@@ -41,6 +51,8 @@ from repro.core.scenario import ScenarioConfig, ScenarioResult, run_scenario
 from repro.core.scoring import score_detector
 from repro.faults.plan import FaultConfig
 from repro.faults.retry import RetryPolicy
+from repro.obs import OBS, MetricsRegistry, Tracer
+from repro.obs.profile import render_profile
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,6 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
         ("report", "run a scenario and print analysis breakdowns"),
         ("audit", "run a scenario and survey the final attack surface"),
         ("pipeline", "run a scenario and print per-stage pipeline metrics"),
+        ("profile", "run a scenario with observability on and print the "
+                    "span/cache/retry profile"),
     ):
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--seed", type=int, default=42)
@@ -78,6 +92,15 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="sweep workers: shard the weekly monitor "
                               "sweep across N forked workers (default 1 "
                               "= serial baseline)")
+        cmd.add_argument("--metrics", action="store_true",
+                         help="collect and print the deterministic "
+                              "metrics registry after the run")
+        cmd.add_argument("--trace", metavar="PATH", default=None,
+                         help="write span/metric events as JSONL to PATH "
+                              "(sim-clock and wall-clock timestamps)")
+        cmd.add_argument("--trace-sample", type=int, default=1, metavar="N",
+                         help="keep every Nth span per span name in the "
+                              "trace (default 1 = keep all)")
         if name == "run":
             cmd.add_argument("--export", metavar="PATH", default=None,
                              help="write the abuse dataset to a JSON file")
@@ -190,24 +213,53 @@ def _print_audit(result: ScenarioResult, out) -> None:
         )
 
 
+def _print_metrics(registry: MetricsRegistry, out) -> None:
+    rows = registry.rows()
+    if not rows:
+        rows = [("(no metrics recorded)", "-")]
+    print(render_table(["series", "value"], rows, title="\nMetrics registry"),
+          file=out)
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
     config = _config_from_args(args)
-    result = run_scenario(config)
-    if args.command == "run":
-        _print_summary(result, out)
-        if args.export:
-            with open(args.export, "w", encoding="utf-8") as handle:
-                handle.write(dataset_to_json(result.dataset, indent=2))
-            print(f"\ndataset exported to {args.export}", file=out)
-    elif args.command == "report":
-        _print_report(result, out)
-    elif args.command == "audit":
-        _print_audit(result, out)
-    elif args.command == "pipeline":
-        _print_pipeline(result, out)
+    # ``profile`` implies observability; otherwise either flag turns it
+    # on.  Disabled, the OBS singleton stays null-object and free.
+    obs_active = args.command == "profile" or args.metrics or args.trace
+    registry: Optional[MetricsRegistry] = None
+    tracer: Optional[Tracer] = None
+    if obs_active:
+        registry = MetricsRegistry()
+        tracer = Tracer(path=args.trace, sample_every=max(1, args.trace_sample))
+        OBS.configure(metrics=registry, tracer=tracer)
+    try:
+        result = run_scenario(config)
+        if args.command == "run":
+            _print_summary(result, out)
+            if args.export:
+                with open(args.export, "w", encoding="utf-8") as handle:
+                    handle.write(dataset_to_json(result.dataset, indent=2))
+                print(f"\ndataset exported to {args.export}", file=out)
+        elif args.command == "report":
+            _print_report(result, out)
+        elif args.command == "audit":
+            _print_audit(result, out)
+        elif args.command == "pipeline":
+            _print_pipeline(result, out)
+        elif args.command == "profile":
+            print(render_profile(result, registry, tracer), file=out)
+        if args.metrics and args.command != "profile":
+            _print_metrics(registry, out)
+    finally:
+        if obs_active:
+            # The trailing metrics event makes the trace self-contained:
+            # CI asserts counters straight off the JSONL.
+            tracer.emit_metrics(registry)
+            tracer.close()
+            OBS.reset()
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.core.signatures import (
     page_tokens,
 )
 from repro.dns.names import Name
+from repro.obs import OBS
 from repro.sim.clock import month_key
 
 
@@ -59,9 +60,29 @@ class AbuseEpisode:
         return self.ended_at is None
 
     def duration_days(self, now: Optional[datetime] = None) -> float:
+        """Episode lifespan in days, right-censored at ``now`` if open.
+
+        ``now`` must come from the *simulation* clock (e.g. the
+        scenario's ``result.end``).  Passing ``datetime.now()`` would
+        measure a 2020-anchored simulated episode against today's wall
+        clock and report a nonsense multi-year duration, so tz-aware
+        datetimes — the signature of ``datetime.now(timezone.utc)`` —
+        are rejected, as is omitting ``now`` while the episode is open.
+        """
+        if now is not None and now.tzinfo is not None:
+            raise ValueError(
+                "duration_days(now=...) takes a naive simulation-clock "
+                "datetime (e.g. the scenario's result.end); a tz-aware "
+                f"value ({now.isoformat()}) looks like wall-clock time"
+            )
         end = self.ended_at or now
         if end is None:
-            raise ValueError("episode still open; pass now=")
+            raise ValueError(
+                "episode still open: pass now= from the simulation clock "
+                "(e.g. result.end) to right-censor it — never "
+                "datetime.now(), which measures wall-clock time against "
+                "simulated timestamps"
+            )
         return max(0.0, (end - self.started_at).total_seconds() / 86_400.0)
 
 
@@ -199,6 +220,8 @@ class AbuseDetector:
                 self._maybe_add_benign(features)
             matched = self._match_existing(features)
             if matched:
+                if OBS.enabled:
+                    OBS.metrics.inc("detector.signature_matches", len(matched))
                 if self._record_match(features, matched, at):
                     newly_flagged.append(features.fqdn)
                 continue
@@ -216,8 +239,13 @@ class AbuseDetector:
             newly_flagged.extend(self._rescan_history(signature))
         if new_signatures:
             self._drop_matched_backlog()
+            if OBS.enabled:
+                OBS.metrics.inc("detector.signatures_extracted", len(new_signatures))
+        flagged = sorted(set(newly_flagged))
+        if flagged and OBS.enabled:
+            OBS.metrics.inc("detector.newly_flagged", len(flagged))
         self.dataset.snapshot_month(at)
-        return sorted(set(newly_flagged))
+        return flagged
 
     # -- matching ---------------------------------------------------------------------
 

@@ -21,6 +21,30 @@ LONG_LIVED_DAYS = 65.0
 YEAR_DAYS = 365.0
 
 
+def require_sim_now(now: datetime) -> datetime:
+    """Validate a right-censoring instant as simulation-clock time.
+
+    Every duration analysis right-censors open episodes at ``now``, so
+    ``now`` must be the simulated measurement end (``result.end``) —
+    naive, like every simulated timestamp — never the wall clock.
+    ``None`` and tz-aware datetimes (the signature of
+    ``datetime.now(timezone.utc)``) are rejected loudly rather than
+    silently producing multi-year phantom durations.
+    """
+    if now is None:
+        raise ValueError(
+            "now is required: pass the simulation clock's measurement "
+            "end (e.g. result.end), not None"
+        )
+    if now.tzinfo is not None:
+        raise ValueError(
+            "now must be a naive simulation-clock datetime (e.g. "
+            f"result.end); got tz-aware {now.isoformat()}, which looks "
+            "like wall-clock time"
+        )
+    return now
+
+
 @dataclass
 class DurationReport:
     """Aggregate lifespan statistics."""
@@ -63,6 +87,7 @@ def analyze_durations(dataset: AbuseDataset, now: datetime) -> DurationReport:
     Episodes still open at the end of the measurement are right-censored
     at ``now``, matching how the paper's Figure 16 draws ongoing bars.
     """
+    now = require_sim_now(now)
     durations: List[float] = []
     for record in dataset.records():
         for episode in record.episodes:
@@ -84,6 +109,7 @@ def hijack_time_frames(
 
     ``end`` is ``None`` for episodes still open at the measurement end.
     """
+    now = require_sim_now(now)
     frames: List[Tuple[str, datetime, Optional[datetime]]] = []
     for record in dataset.records():
         for episode in record.episodes:

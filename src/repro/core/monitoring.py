@@ -20,6 +20,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 from repro.core.keywords import extract_keywords
 from repro.dns.names import Name
 from repro.faults.retry import RetryPolicy
+from repro.obs import OBS
 from repro.web.client import FetchOutcome, FetchStatus, HttpClient
 from repro.web.html import parse_html
 from repro.web.sitemap import parse_sitemap
@@ -311,6 +312,8 @@ class WeeklyMonitor:
     def sample(self, fqdn: Name, at: datetime) -> SnapshotFeatures:
         """One weekly sample: index fetch, plus sitemap when warranted."""
         self.samples_taken += 1
+        if OBS.enabled:
+            OBS.metrics.inc("monitor.samples")
         headers = {"User-Agent": self.config.user_agent}
         outcome, scheme = self._fetch_index(fqdn, at, headers)
         resolution = outcome.resolution
@@ -403,10 +406,14 @@ class WeeklyMonitor:
             cached = cache.html.get(body_hash)
             if cached is not None:
                 cache.hits += 1
+                if OBS.enabled:
+                    OBS.metrics.inc("extraction.html.hits")
                 return replace(
                     features, http_status=status, html_hash=body_hash, **cached
                 )
             cache.misses += 1
+            if OBS.enabled:
+                OBS.metrics.inc("extraction.html.misses")
         fields = self._extract_html_fields(body)
         if cache is not None:
             cache.html[body_hash] = fields
@@ -465,8 +472,12 @@ class WeeklyMonitor:
         cached = cache.sitemap.get(key)
         if cached is not None:
             cache.hits += 1
+            if OBS.enabled:
+                OBS.metrics.inc("extraction.sitemap.hits")
             return cached
         cache.misses += 1
+        if OBS.enabled:
+            OBS.metrics.inc("extraction.sitemap.misses")
         fields = self._extract_sitemap_fields(body)
         cache.sitemap[key] = fields
         return fields

@@ -20,6 +20,7 @@ from repro.dns.names import Name, normalize_name, parent_name
 from repro.dns.passive_dns import PassiveDNS
 from repro.dns.records import RRType, ResourceRecord
 from repro.dns.zone import ZoneRegistry
+from repro.obs import OBS
 
 #: RFC-ish bound on chain length before we declare a loop.
 MAX_CHAIN_LENGTH = 16
@@ -126,6 +127,8 @@ class Resolver:
         passive DNS feed, observations are recorded.
         """
         qname = normalize_name(qname)
+        if OBS.enabled:
+            OBS.metrics.inc("resolver.queries")
         if self.fault_plan is not None:
             fault = self.fault_plan.dns_fault(str(qname))
             if fault is not None:
@@ -176,12 +179,21 @@ class Resolver:
         key = (qname, qtype)
         memo = self._memo.get(key)
         if memo is not None and self._memo_valid(memo):
+            if OBS.enabled:
+                OBS.metrics.inc("resolver.memo.hits")
+                OBS.metrics.observe("resolver.chain_depth", len(memo[3]))
             status, chain, records, observed = memo[2], memo[3], memo[4], memo[5]
             for group in observed:
                 self._observe(group, at)
             return ResolutionResult(
                 qname, qtype, status, list(chain), list(records)
             )
+        if OBS.enabled:
+            OBS.metrics.inc("resolver.memo.misses")
+            if memo is not None:
+                # An entry existed but a zone change invalidated it: the
+                # fresh walk below overwrites it — an eviction.
+                OBS.metrics.inc("resolver.memo.evictions")
         registry_version = self._zones.version
         result, touched, observed = self._walk(qname, qtype, at)
         # A list, not a tuple: a still-valid entry refreshes its
@@ -195,6 +207,8 @@ class Resolver:
             tuple(result.records),
             observed,
         ]
+        if OBS.enabled:
+            OBS.metrics.observe("resolver.chain_depth", len(result.cname_chain))
         return result
 
     def _memo_valid(self, entry) -> bool:

@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.dns.names import Name, is_subdomain_of, normalize_name, parent_name
 from repro.dns.records import RRType, ResourceRecord
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -69,7 +70,11 @@ class Zone:
         normalized = normalize_name(name)
         cached = self._lookup_cache.get((normalized, rtype))
         if cached is not None:
+            if OBS.enabled:
+                OBS.metrics.inc("zone.lookup.memo_hits")
             return list(cached)
+        if OBS.enabled:
+            OBS.metrics.inc("zone.lookup.memo_misses")
         result: List[ResourceRecord] = []
         exact = self._records.get((normalized, rtype))
         if exact:
@@ -213,7 +218,11 @@ class ZoneRegistry:
         """
         normalized = normalize_name(name)
         if normalized in self._zone_for:
+            if OBS.enabled:
+                OBS.metrics.inc("zone.zone_for.memo_hits")
             return self._zone_for[normalized]
+        if OBS.enabled:
+            OBS.metrics.inc("zone.zone_for.memo_misses")
         labels = normalized.split(".")
         zone = None
         for start in range(len(labels)):

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from datetime import datetime, timedelta
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import OBS
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -140,6 +142,8 @@ class CircuitBreaker:
             # short-circuiting this edge forever.
             circuit.state = HALF_OPEN
             circuit.trial_pending = True
+            if OBS.enabled:
+                OBS.metrics.inc("breaker.half_open", edge=key)
             return True
         return False
 
@@ -148,6 +152,8 @@ class CircuitBreaker:
         circuit = self._circuits.get(key)
         if circuit is None:
             return
+        if circuit.state != CLOSED and OBS.enabled:
+            OBS.metrics.inc("breaker.close", edge=key)
         circuit.state = CLOSED
         circuit.consecutive_failures = 0
         circuit.opened_at = None
@@ -162,12 +168,16 @@ class CircuitBreaker:
             circuit.opened_at = at
             circuit.trial_pending = False
             self.trips += 1
+            if OBS.enabled:
+                OBS.metrics.inc("breaker.open", edge=key)
             return
         circuit.consecutive_failures += 1
         if circuit.state == CLOSED and circuit.consecutive_failures >= self.failure_threshold:
             circuit.state = OPEN
             circuit.opened_at = at
             self.trips += 1
+            if OBS.enabled:
+                OBS.metrics.inc("breaker.open", edge=key)
 
     # -- introspection ---------------------------------------------------
 

@@ -1,0 +1,105 @@
+"""Observability: deterministic metrics plus a span tracer.
+
+The subsystem is off by default and free when off: the process-global
+:data:`OBS` handle starts with null-object metrics and tracer, and hot
+paths guard their instrumentation with ``if OBS.enabled:`` — a single
+attribute load and branch on a ``__slots__`` singleton, so the golden
+baseline keeps its exact cost profile and byte-identical output.
+
+Enable it by installing real sinks::
+
+    from repro.obs import OBS, MetricsRegistry, Tracer
+
+    OBS.configure(metrics=MetricsRegistry(), tracer=Tracer(path))
+    try:
+        ...  # run the scenario
+    finally:
+        OBS.reset()
+
+Forked shard workers swap in their own registry/buffer-tracer pair for
+the duration of the shard (:mod:`repro.parallel.shard`) and ship both
+home in the :class:`ShardResult`; the parent reduces registries with
+the associative :meth:`MetricsRegistry.merge_from` and replays trace
+events in shard order, so worker count never changes the totals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    HistogramData,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+    metric_key,
+)
+from repro.obs.trace import (
+    BufferTracer,
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    WALL_FIELDS,
+    load_events,
+    sim_projection,
+)
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "HistogramData",
+    "DEFAULT_BOUNDS",
+    "metric_key",
+    "Tracer",
+    "BufferTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "WALL_FIELDS",
+    "load_events",
+    "sim_projection",
+]
+
+
+class Observability:
+    """The process-global observability handle.
+
+    ``enabled`` is precomputed on every (re)configuration so hot paths
+    pay one attribute read, never an ``isinstance`` or null check.
+    """
+
+    __slots__ = ("metrics", "tracer", "enabled")
+
+    def __init__(self) -> None:
+        self.metrics = NULL_METRICS
+        self.tracer = NULL_TRACER
+        self.enabled = False
+
+    def configure(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        """Install real sinks; ``None`` leaves that slot unchanged."""
+        if metrics is not None:
+            self.metrics = metrics
+        if tracer is not None:
+            self.tracer = tracer
+        self.enabled = not (
+            self.metrics is NULL_METRICS and self.tracer is NULL_TRACER
+        )
+
+    def reset(self) -> None:
+        """Back to the free disabled state (does not close the tracer)."""
+        self.metrics = NULL_METRICS
+        self.tracer = NULL_TRACER
+        self.enabled = False
+
+
+#: The one instance everything instruments against.
+OBS = Observability()

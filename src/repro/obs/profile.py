@@ -1,0 +1,139 @@
+"""The ``python -m repro profile`` report.
+
+Renders what the tracer and registry collected over one scenario run:
+the top spans by total wall time (per-stage and per-shard timings),
+the cache hit rates that justify the fast path (resolver memo, zone
+lookup memos, extraction cache), and the retry/breaker heat per edge.
+All tables degrade gracefully — a healthy run simply shows zero
+retries and no breaker transitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.reporting import percent, render_table
+
+#: (label, hits counter, misses counter) rows of the hit-rate table.
+CACHE_SERIES: Tuple[Tuple[str, str, str], ...] = (
+    ("resolver memo", "resolver.memo.hits", "resolver.memo.misses"),
+    ("zone lookup", "zone.lookup.memo_hits", "zone.lookup.memo_misses"),
+    ("zone cover (zone_for)", "zone.zone_for.memo_hits", "zone.zone_for.memo_misses"),
+    ("html extraction", "extraction.html.hits", "extraction.html.misses"),
+    ("sitemap extraction", "extraction.sitemap.hits", "extraction.sitemap.misses"),
+    ("touch memo (fast path)", "sweep.sample.touch_fast", "sweep.sample.full"),
+)
+
+#: How many spans / edges the tables keep.
+TOP_SPANS = 14
+TOP_EDGES = 10
+
+
+def _span_table(tracer) -> str:
+    aggregates = tracer.aggregates()
+    ranked = sorted(
+        aggregates.items(), key=lambda item: -item[1]["total_ms"]
+    )[:TOP_SPANS]
+    rows = [
+        (
+            name,
+            stats["count"],
+            f"{stats['total_ms']:.1f}",
+            f"{stats['mean_ms']:.3f}",
+            f"{stats['max_ms']:.2f}",
+        )
+        for name, stats in ranked
+    ]
+    if not rows:
+        rows = [("(no spans recorded)", 0, "-", "-", "-")]
+    return render_table(
+        ["span", "count", "total ms", "mean ms", "max ms"],
+        rows,
+        title=f"Top spans by total wall time (of {len(aggregates)} span names)",
+    )
+
+
+def _cache_table(metrics) -> str:
+    counters = metrics.counters()
+    rows: List[Tuple[object, ...]] = []
+    for label, hits_key, misses_key in CACHE_SERIES:
+        hits = counters.get(hits_key, 0)
+        misses = counters.get(misses_key, 0)
+        total = hits + misses
+        rows.append(
+            (label, hits, misses, percent(hits / total) if total else "-")
+        )
+    evictions = counters.get("resolver.memo.evictions", 0)
+    rows.append(("resolver memo evictions", evictions, "-", "-"))
+    return render_table(
+        ["cache", "hits", "misses", "hit rate"], rows, title="\nCache hit rates"
+    )
+
+
+def _retry_table(metrics) -> str:
+    counters = metrics.counters()
+    rows: List[Tuple[object, ...]] = [
+        ("http attempts (total)", counters.get("http.attempts", 0)),
+        ("http retries (total)", counters.get("http.retries", 0)),
+    ]
+    per_edge = sorted(
+        (
+            (key, count)
+            for key, count in counters.items()
+            if key.startswith("http.retries{")
+        ),
+        key=lambda item: (-item[1], item[0]),
+    )[:TOP_EDGES]
+    rows.extend(per_edge)
+    if not per_edge:
+        rows.append(("per-edge retries", "(none)"))
+    for transition in ("open", "half_open", "close"):
+        total = sum(
+            count
+            for key, count in counters.items()
+            if key.startswith(f"breaker.{transition}")
+        )
+        rows.append((f"breaker {transition} transitions", total))
+    return render_table(
+        ["event", "count"], rows, title="\nRetry and breaker heat"
+    )
+
+
+def _sweep_table(result, metrics) -> str:
+    counters = metrics.counters()
+    rows: List[Tuple[object, ...]] = [
+        ("samples taken", counters.get("monitor.samples", 0)),
+        ("fused shards", counters.get("sweep.shards.fused", 0)),
+        ("generic shards", counters.get("sweep.shards.generic", 0)),
+        ("touch-fast samples", counters.get("sweep.sample.touch_fast", 0)),
+        ("touch-marker samples", counters.get("sweep.sample.touch", 0)),
+        ("full fused samples", counters.get("sweep.sample.full", 0)),
+        ("generic samples", counters.get("sweep.sample.generic", 0)),
+        ("detector signature matches", counters.get("detector.signature_matches", 0)),
+    ]
+    executor = getattr(result, "executor", None)
+    report = getattr(executor, "last_report", None)
+    if report is not None:
+        rows.append(("last sweep wall s (elapsed)", f"{report.wall_seconds:.3f}"))
+        rows.append(("last sweep cpu s (summed shards)", f"{report.cpu_seconds:.3f}"))
+        rows.append(("last sweep mode", report.mode))
+    return render_table(
+        ["metric", "value"], rows, title="\nSweep path and detector"
+    )
+
+
+def render_profile(result, metrics, tracer) -> str:
+    """The full profile report for one finished scenario run."""
+    title = (
+        f"Observability profile ({result.weeks_run} weeks, "
+        f"{getattr(result.config, 'workers', 1)} worker(s))"
+    )
+    sections = [
+        title,
+        "=" * len(title),
+        _span_table(tracer),
+        _cache_table(metrics),
+        _retry_table(metrics),
+        _sweep_table(result, metrics),
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,264 @@
+"""Structured span tracing to JSONL.
+
+Every event carries two clocks: the **simulated** timestamp (``sim``,
+the week being processed) and the **wall** clock (``wall`` plus span
+``dur_ms``).  The sim-clock projection of a trace — every field except
+the wall ones — is a pure function of the seed, so two same-seed runs
+must emit identical projections; tests and the observability-smoke CI
+job diff exactly that (:func:`sim_projection`).
+
+Forked shard workers cannot share the parent's file handle, so they
+trace into a :class:`BufferTracer` (:meth:`Tracer.fork_buffer`) whose
+events ride home in the :class:`~repro.parallel.shard.ShardResult` and
+are replayed by the parent **in shard order** — the same discipline as
+every other shard effect, and what keeps the event sequence
+deterministic across worker counts.
+
+Sampling (``sample_every=N``) keeps every Nth span *per span name*, a
+deterministic rule that thins the JSONL without desynchronising
+same-seed runs.  Aggregates (span count and total duration per name,
+for the ``profile`` report) always see every span.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime
+from typing import Dict, List, Optional
+
+#: Event fields derived from the wall clock — excluded when diffing
+#: same-seed traces for determinism.
+WALL_FIELDS = ("wall", "dur_ms")
+
+
+class _Span:
+    """One in-flight span; a context manager that emits on exit."""
+
+    __slots__ = ("_tracer", "name", "sim", "week", "attrs", "_started")
+
+    def __init__(self, tracer: "Tracer", name: str, sim, week, attrs):
+        self._tracer = tracer
+        self.name = name
+        self.sim = sim
+        self.week = week
+        self.attrs = attrs
+        self._started = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration_ms = (time.perf_counter() - self._started) * 1000.0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._finish_span(self, duration_ms)
+
+
+class _NullSpan:
+    """Shared no-op span: enter/exit do nothing, nothing allocates."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op stand-in installed while tracing is disabled."""
+
+    __slots__ = ()
+
+    def span(self, name: str, sim=None, week=None, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, sim=None, week=None, **attrs) -> None:
+        pass
+
+    def replay(self, events: List[Dict]) -> None:
+        pass
+
+    def fork_buffer(self) -> "NullTracer":
+        return self
+
+    def emit_metrics(self, registry, sim=None) -> None:
+        pass
+
+    def aggregates(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled-mode tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()
+
+
+def _stamp(value) -> Optional[str]:
+    return value.isoformat() if isinstance(value, datetime) else value
+
+
+class Tracer:
+    """JSONL span tracer with per-name sampling and aggregates.
+
+    ``path=None`` keeps aggregates only (the ``profile`` subcommand's
+    mode); with a path, one JSON object per line is written with a
+    fixed key order, so traces diff cleanly.
+    """
+
+    def __init__(self, path: Optional[str] = None, sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = sample_every
+        self._handle = open(path, "w", encoding="utf-8") if path else None
+        #: Spans started per name — drives the every-Nth sampling rule.
+        self._seen: Dict[str, int] = {}
+        #: name -> [count, total_ms, max_ms]; always fed, never sampled.
+        self._agg: Dict[str, List[float]] = {}
+        self.events_emitted = 0
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, sim=None, week=None, **attrs) -> _Span:
+        """Open a span; use as a context manager."""
+        return _Span(self, name, sim, week, attrs)
+
+    def event(self, name: str, sim=None, week=None, **attrs) -> None:
+        """Emit a point event (never sampled away)."""
+        self._write(self._payload("event", name, sim, week, attrs))
+
+    def _finish_span(self, span: _Span, duration_ms: float) -> None:
+        agg = self._agg.get(span.name)
+        if agg is None:
+            self._agg[span.name] = [1, duration_ms, duration_ms]
+        else:
+            agg[0] += 1
+            agg[1] += duration_ms
+            if duration_ms > agg[2]:
+                agg[2] = duration_ms
+        seen = self._seen.get(span.name, 0)
+        self._seen[span.name] = seen + 1
+        if seen % self.sample_every:
+            return
+        payload = self._payload("span", span.name, span.sim, span.week, span.attrs)
+        payload["dur_ms"] = round(duration_ms, 3)
+        self._write(payload)
+
+    def emit_metrics(self, registry, sim=None) -> None:
+        """Write the registry snapshot as a trailing ``metrics`` event.
+
+        Registries hold only deterministic values, so this event is part
+        of the sim-clock projection — CI asserts counters straight off
+        the trace file.
+        """
+        payload = self._payload("metrics", "metrics", sim, None, {})
+        payload.update(registry.as_dict())
+        self._write(payload)
+
+    # -- shard plumbing ---------------------------------------------------
+
+    def fork_buffer(self) -> "BufferTracer":
+        """A child-side tracer buffering events for the shard pipe."""
+        return BufferTracer(sample_every=self.sample_every)
+
+    def replay(self, events: List[Dict]) -> None:
+        """Write a shard's buffered events (already sampled child-side)
+        and fold their spans into the aggregates."""
+        for payload in events:
+            if payload.get("type") == "span":
+                name = payload["name"]
+                duration_ms = payload.get("dur_ms", 0.0)
+                agg = self._agg.get(name)
+                if agg is None:
+                    self._agg[name] = [1, duration_ms, duration_ms]
+                else:
+                    agg[0] += 1
+                    agg[1] += duration_ms
+                    if duration_ms > agg[2]:
+                        agg[2] = duration_ms
+            self._write(payload)
+
+    # -- output -----------------------------------------------------------
+
+    def _payload(self, kind: str, name: str, sim, week, attrs) -> Dict:
+        payload = {"type": kind, "name": name}
+        if week is not None:
+            payload["week"] = week
+        if sim is not None:
+            payload["sim"] = _stamp(sim)
+        payload["wall"] = round(time.time(), 6)
+        for key in sorted(attrs):
+            payload[key] = _stamp(attrs[key])
+        return payload
+
+    def _write(self, payload: Dict) -> None:
+        self.events_emitted += 1
+        if self._handle is not None:
+            self._handle.write(json.dumps(payload) + "\n")
+
+    # -- reading ----------------------------------------------------------
+
+    def aggregates(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name timing summary (count/total/mean/max ms)."""
+        return {
+            name: {
+                "count": int(agg[0]),
+                "total_ms": agg[1],
+                "mean_ms": agg[1] / agg[0] if agg[0] else 0.0,
+                "max_ms": agg[2],
+            }
+            for name, agg in sorted(self._agg.items())
+        }
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class BufferTracer(Tracer):
+    """A tracer that buffers payloads instead of writing them.
+
+    Used by forked shard workers: the parent replays ``events`` in
+    shard order, so the final JSONL is identical to what an inline run
+    would have written (wall fields aside).
+    """
+
+    def __init__(self, sample_every: int = 1):
+        super().__init__(path=None, sample_every=sample_every)
+        self.events: List[Dict] = []
+
+    def _write(self, payload: Dict) -> None:
+        self.events_emitted += 1
+        self.events.append(payload)
+
+
+def load_events(path: str) -> List[Dict]:
+    """Parse a JSONL trace file back into event dicts."""
+    events: List[Dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def sim_projection(events: List[Dict]) -> List[Dict]:
+    """Events with every wall-clock field stripped.
+
+    What remains is a pure function of the seed and worker topology;
+    two same-seed runs must produce equal projections.
+    """
+    return [
+        {key: value for key, value in event.items() if key not in WALL_FIELDS}
+        for event in events
+    ]

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.monitoring import ExtractionCache, SnapshotFeatures, WeeklyMonitor
 from repro.dns.names import Name
+from repro.obs import OBS
 from repro.parallel.shard import (
     ShardResult,
     fork_available,
@@ -56,6 +57,12 @@ class SweepReport:
     order and counters sum, so reducing per-shard reports left-to-right
     equals reducing any bracketing of them — the property that makes
     the shard-order merge well-defined.
+
+    Two timing fields with different merge laws: ``cpu_seconds`` is
+    the work actually done (sum of shard sampling time — sums under
+    merge), while ``wall_seconds`` is elapsed time (concurrent shards
+    overlap — max under merge).  Summing walls was the old bug: merging
+    N concurrent shard reports inflated "elapsed" N-fold.
     """
 
     changed: List[ChangedPair] = field(default_factory=list)
@@ -72,7 +79,11 @@ class SweepReport:
     mode: str = "serial"
     shard_sizes: List[int] = field(default_factory=list)
     shard_walls: List[float] = field(default_factory=list)
+    #: Elapsed time of the sweep (max under merge — concurrent parts
+    #: overlap; the executor overwrites it with the true elapsed time).
     wall_seconds: float = 0.0
+    #: Total sampling time across shards (sum under merge).
+    cpu_seconds: float = 0.0
 
     @property
     def fqdns_swept(self) -> int:
@@ -98,7 +109,8 @@ class SweepReport:
             mode=self.mode if self.mode == other.mode else "mixed",
             shard_sizes=self.shard_sizes + other.shard_sizes,
             shard_walls=self.shard_walls + other.shard_walls,
-            wall_seconds=self.wall_seconds + other.wall_seconds,
+            wall_seconds=max(self.wall_seconds, other.wall_seconds),
+            cpu_seconds=self.cpu_seconds + other.cpu_seconds,
         )
 
 
@@ -106,6 +118,9 @@ class SweepExecutor:
     """Strategy interface: run one weekly sweep over ``fqdns``."""
 
     workers: int = 1
+    #: The most recent sweep's report (benchmarks and the profile
+    #: report read timing fields off it).
+    last_report: Optional[SweepReport] = None
 
     def sweep(
         self, monitor: WeeklyMonitor, fqdns: Sequence[Name], at: datetime
@@ -150,12 +165,14 @@ class SerialExecutor(SweepExecutor):
             shard_sizes=[len(fqdns)],
             shard_walls=[wall],
             wall_seconds=wall,
+            cpu_seconds=wall,
         )
         if plan is not None:
             for kind, count in plan.stats.injected.items():
                 delta = count - injected0.get(kind, 0)
                 if delta:
                     report.injected[kind] = delta
+        self.last_report = report
         return report
 
 
@@ -197,8 +214,6 @@ class ProcessExecutor(SweepExecutor):
         self.use_fork = use_fork
         #: "fork" or "inline" — how the most recent sweep actually ran.
         self.last_mode: Optional[str] = None
-        #: The most recent sweep's report (benchmarks read shard walls).
-        self.last_report: Optional[SweepReport] = None
 
     def sweep(
         self, monitor: WeeklyMonitor, fqdns: Sequence[Name], at: datetime
@@ -258,6 +273,13 @@ class ProcessExecutor(SweepExecutor):
                 self.extraction_cache.sitemap.update(result.new_sitemap)
                 self.extraction_cache.hits += result.cache_hits
                 self.extraction_cache.misses += result.cache_misses
+                # Shard-local observability reduces like every other
+                # delta: registries merge associatively, trace events
+                # replay in shard order.
+                if result.metrics is not None and OBS.enabled:
+                    OBS.metrics.merge_from(result.metrics)
+                if result.trace_events:
+                    OBS.tracer.replay(result.trace_events)
             for entry in result.sampled:
                 if isinstance(entry, SnapshotFeatures):
                     is_new, previous = monitor.store.record(entry)
@@ -278,4 +300,5 @@ class ProcessExecutor(SweepExecutor):
             report.cache_misses += result.cache_misses
             report.shard_sizes.append(result.size)
             report.shard_walls.append(result.wall_seconds)
+            report.cpu_seconds += result.wall_seconds
         return report

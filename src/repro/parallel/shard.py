@@ -46,6 +46,7 @@ from repro.dns.names import Name
 from repro.dns.passive_dns import PassiveDNS
 from repro.dns.records import RRType
 from repro.dns.resolver import ResolutionStatus, Resolver
+from repro.obs import OBS, MetricsRegistry
 from repro.web.client import FetchStatus
 from repro.web.http import HttpRequest
 from repro.web.site import StaticSite
@@ -209,6 +210,12 @@ class ShardResult:
     cache_misses: int = 0
     wall_seconds: float = 0.0
     fused: bool = False
+    #: Shard-local observability, shipped home in forked mode only:
+    #: the child's :class:`MetricsRegistry` (merged associatively by
+    #: the parent) and its buffered trace events (replayed in shard
+    #: order).  ``None``/empty while observability is off or inline.
+    metrics: Optional[MetricsRegistry] = None
+    trace_events: List[dict] = field(default_factory=list)
 
 
 class _RecordingPassiveDNS:
@@ -301,11 +308,24 @@ def run_shard(
     if forked and resolver.passive_dns is not None:
         recorder = _RecordingPassiveDNS(resolver.passive_dns)
         resolver.passive_dns = recorder
+    obs_parent = None
+    if forked and OBS.enabled:
+        # The child's counters and spans die with it, like every other
+        # mutation: swap in a fresh registry and a buffer tracer for
+        # the shard's duration and ship both home in the result.
+        obs_parent = (OBS.metrics, OBS.tracer)
+        OBS.metrics = MetricsRegistry()
+        OBS.tracer = OBS.tracer.fork_buffer()
 
     result = ShardResult(index=index, size=len(fqdns))
     try:
         fused = fast_path_eligible(monitor)
         result.fused = fused
+        obs_on = OBS.enabled
+        if obs_on:
+            OBS.metrics.inc(
+                "sweep.shards.fused" if fused else "sweep.shards.generic"
+            )
         touch_memo: Dict[Name, tuple] = {}
         if fused:
             # Part of the fast path: version-validated resolution
@@ -319,27 +339,44 @@ def run_shard(
                 touch_memo = {}
                 monitor._touch_memo = touch_memo
         headers = {"User-Agent": monitor.config.user_agent}
-        for fqdn in fqdns:
-            if fused:
-                if _touch_fast(monitor, client, resolver, touch_memo, fqdn, at):
-                    result.sampled.append(fqdn)
-                    continue
-                features = _sample_fused(monitor, fqdn, at, headers)
-                if not isinstance(features, SnapshotFeatures):
-                    # Touch marker: the state is unchanged, ship the
-                    # name alone and let the parent bump the window.
+        with OBS.tracer.span(
+            "sweep.shard", sim=at, shard=index, size=len(fqdns),
+            mode="fused" if fused else "generic",
+        ):
+            for fqdn in fqdns:
+                if fused:
+                    if _touch_fast(monitor, client, resolver, touch_memo, fqdn, at):
+                        if obs_on:
+                            OBS.metrics.inc("monitor.samples")
+                            OBS.metrics.inc("sweep.sample.touch_fast")
+                        result.sampled.append(fqdn)
+                        continue
+                    features = _sample_fused(monitor, fqdn, at, headers)
+                    if not isinstance(features, SnapshotFeatures):
+                        # Touch marker: the state is unchanged, ship the
+                        # name alone and let the parent bump the window.
+                        if obs_on:
+                            OBS.metrics.inc("sweep.sample.touch")
+                        result.sampled.append(features)
+                        continue
+                    if obs_on:
+                        OBS.metrics.inc("sweep.sample.full")
+                else:
+                    features = monitor.sample(fqdn, at)
+                    if obs_on:
+                        OBS.metrics.inc("sweep.sample.generic")
+                if features.fetch_status in TRANSIENT_SAMPLE_STATUSES:
+                    result.failures.append((fqdn, features.fetch_status))
+                else:
                     result.sampled.append(features)
-                    continue
-            else:
-                features = monitor.sample(fqdn, at)
-            if features.fetch_status in TRANSIENT_SAMPLE_STATUSES:
-                result.failures.append((fqdn, features.fetch_status))
-            else:
-                result.sampled.append(features)
     finally:
         monitor.extraction_cache = previous_cache
         if recorder is not None:
             resolver.passive_dns = recorder._inner
+        if obs_parent is not None:
+            result.metrics = OBS.metrics
+            result.trace_events = getattr(OBS.tracer, "events", [])
+            OBS.metrics, OBS.tracer = obs_parent
 
     result.samples_taken = monitor.samples_taken - samples0
     result.sitemap_fetches = monitor.sitemap_fetches - sitemap0
@@ -390,6 +427,8 @@ def _sample_fused(
     observation window.
     """
     monitor.samples_taken += 1
+    if OBS.enabled:
+        OBS.metrics.inc("monitor.samples")
     client = monitor.client
     resolution = client.resolver.resolve(fqdn, at=at)
     status = resolution.status
@@ -467,11 +506,15 @@ def _sample_fused(
         fields = cache.html.get(body_hash) if cache is not None else None
         if fields is not None:
             cache.hits += 1
+            if OBS.enabled:
+                OBS.metrics.inc("extraction.html.hits")
         else:
             fields = monitor._extract_html_fields(body)
             if cache is not None:
                 cache.misses += 1
                 cache.html[body_hash] = fields
+                if OBS.enabled:
+                    OBS.metrics.inc("extraction.html.misses")
         features = SnapshotFeatures(
             fetch_status=_OK_VALUE,
             http_status=http_status,

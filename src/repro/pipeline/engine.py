@@ -29,6 +29,7 @@ from datetime import datetime, timedelta
 from typing import Any, Callable, List, Optional, Sequence, Set
 
 from repro.faults.retry import RetryPolicy
+from repro.obs import OBS
 from repro.pipeline.context import QuarantineRecord, WeekContext
 from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.stage import Stage
@@ -173,7 +174,11 @@ class PipelineEngine:
             attempt += 1
             started = time.perf_counter()
             try:
-                items = stage.tick(ctx)
+                with OBS.tracer.span(
+                    f"stage.{stage.name}", sim=ctx.at, week=ctx.week_index,
+                    attempt=attempt,
+                ):
+                    items = stage.tick(ctx)
             except Exception as exc:
                 elapsed = time.perf_counter() - started
                 if attempt < self.stage_retry.max_attempts:

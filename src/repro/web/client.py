@@ -26,6 +26,7 @@ from typing import Dict, Optional
 
 from repro.dns.resolver import ResolutionResult, ResolutionStatus, Resolver
 from repro.faults.retry import CircuitBreaker, RetryPolicy
+from repro.obs import OBS
 from repro.net.network import Network
 from repro.web.cookies import CookieJar
 from repro.web.http import HttpRequest, HttpResponse
@@ -159,9 +160,18 @@ class HttpClient:
             # a retry policy must not understate an edge's failure
             # streak by hiding the transient attempts it rode out.
             self._note_breaker(outcome, attempt_at)
+            if OBS.enabled:
+                OBS.metrics.inc("http.attempts")
             if not outcome.transient or attempt >= policy.max_attempts:
+                if OBS.enabled:
+                    OBS.metrics.inc("http.fetch", status=outcome.status.value)
+                    if attempt > 1:
+                        OBS.metrics.observe("http.attempts_per_fetch", attempt)
                 return outcome
             self.retries_total += 1
+            if OBS.enabled:
+                OBS.metrics.inc("http.retries")
+                OBS.metrics.inc("http.retries", edge=outcome.ip or "-")
             if attempt_at is not None:
                 delay = policy.backoff_delay(attempt, rng)
                 self.backoff_seconds_total += delay

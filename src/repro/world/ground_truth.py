@@ -38,10 +38,24 @@ class HijackRecord:
         return self.remediated_at is None
 
     def duration_days(self, now: Optional[datetime] = None) -> float:
-        """Days the hijack lasted (or has lasted, given ``now``)."""
+        """Days the hijack lasted (or has lasted, given ``now``).
+
+        Like :meth:`AbuseEpisode.duration_days`, ``now`` must be the
+        naive simulation clock — tz-aware values betray wall-clock use
+        and an active hijack needs an explicit censoring instant.
+        """
+        if now is not None and now.tzinfo is not None:
+            raise ValueError(
+                "duration_days(now=...) takes a naive simulation-clock "
+                f"datetime; got tz-aware {now.isoformat()}, which looks "
+                "like wall-clock time"
+            )
         end = self.remediated_at or now
         if end is None:
-            raise ValueError("hijack still active; pass now=")
+            raise ValueError(
+                "hijack still active: pass now= from the simulation "
+                "clock (e.g. result.end), never datetime.now()"
+            )
         return (end - self.taken_over_at).total_seconds() / 86_400.0
 
 

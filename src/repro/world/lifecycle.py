@@ -20,6 +20,8 @@ from datetime import datetime, timedelta
 from typing import Dict, List, Optional
 
 from repro.dns.records import RRType
+from repro.obs import OBS
+from repro.pki.ca import IssuanceError
 from repro.world.ground_truth import GroundTruthLog
 from repro.world.internet import Internet
 from repro.world.organizations import Asset, AssetKind, Organization, OrgKind
@@ -228,8 +230,11 @@ class WorldEngine:
                     org.managed_cert_sans, whois.owner_of(org.domain),
                     whois.owner_of, at,
                 )
-            except Exception:
-                continue
+            except IssuanceError:
+                # A CAA record added since the original issuance can
+                # refuse this CA at renewal time; that is world
+                # behaviour, not a bug — anything else propagates.
+                OBS.metrics.inc("pki.issuance_refused", path="renewal")
 
     def _render_parked(self, org: Organization) -> None:
         doc = self._internet.benign_content.parked_page(org.domain, self._parking_campaign)

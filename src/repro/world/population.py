@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.cloud.specs import NamingPolicy, spec_by_key
 from repro.dns.records import RRType, ResourceRecord, caa_rdata
 from repro.net.addresses import IPv4Pool
+from repro.obs import OBS
+from repro.pki.ca import IssuanceError
 from repro.web.server import dedicated_server
 from repro.web.site import StaticSite
 from repro.whois.registrars import pick_registrar
@@ -320,8 +322,10 @@ class PopulationBuilder:
                 sans, owner, self._internet.whois.owner_of, at
             )
             org.managed_cert_sans = sans
-        except Exception:
-            pass  # CAA may exclude this CA; the org simply has no cert
+        except IssuanceError:
+            # CAA may exclude this CA; the org simply has no cert.  Any
+            # other exception is a real bug and must propagate.
+            OBS.metrics.inc("pki.issuance_refused", path="managed")
 
     def _populate_assets(
         self, org: Organization, count: int, config: PopulationConfig, at: datetime
@@ -380,8 +384,10 @@ class PopulationBuilder:
             try:
                 self._internet.issue_certificate(resource, fqdn, at)
                 asset.has_certificate = True
-            except Exception:
-                pass  # CAA may forbid the free CA; owners give up, as observed
+            except IssuanceError:
+                # CAA may forbid the free CA; owners give up, as
+                # observed.  Real bugs propagate.
+                OBS.metrics.inc("pki.issuance_refused", path="asset")
         return asset
 
     def _add_cloud_a_asset(self, org: Organization, fqdn: str, at: datetime) -> Asset:

@@ -91,6 +91,24 @@ def test_sweep_report_merge_is_associative():
     assert left.workers == 3
 
 
+def test_sweep_report_merge_wall_is_max_and_cpu_is_sum():
+    # Regression: merge used to sum wall_seconds, so an N-shard sweep
+    # reported N-fold "elapsed" time.  Wall is elapsed (max under
+    # merge); cpu is the summed per-shard sampling time.
+    a, b = _report(1), _report(2)
+    a.wall_seconds, a.cpu_seconds = 2.0, 2.0
+    b.wall_seconds, b.cpu_seconds = 3.0, 3.0
+    merged = a.merge(b)
+    assert merged.wall_seconds == 3.0
+    assert merged.cpu_seconds == 5.0
+    # Still associative with the third report in either bracketing.
+    c = _report(3)
+    c.wall_seconds, c.cpu_seconds = 1.0, 1.0
+    left, right = a.merge(b).merge(c), a.merge(b.merge(c))
+    assert (left.wall_seconds, left.cpu_seconds) == (3.0, 6.0)
+    assert (right.wall_seconds, right.cpu_seconds) == (3.0, 6.0)
+
+
 def test_sweep_report_merge_marks_mixed_modes():
     a = _report(1)
     b = _report(2)
