@@ -101,7 +101,7 @@ def test_observability_registry(emit):
     assert counters["zone.lookup.memo_misses"] > 0
     assert counters.get("sweep.shards.fused", 0) > 0
     sampled = (
-        counters.get("sweep.sample.touch_fast", 0)
+        counters.get("journal.clean_skips", 0)
         + counters.get("sweep.sample.touch", 0)
         + counters.get("sweep.sample.full", 0)
         + counters.get("sweep.sample.generic", 0)

@@ -15,6 +15,12 @@ Runs two ways:
 * standalone (``python benchmarks/bench_sweep_parallel.py``): the
   paper-scale default scenario (the acceptance run — ≥ 2× sweep
   throughput at 4 workers), or ``--quick`` for the small one.
+
+A second table measures the churn-proportional ``--incremental`` mode:
+a full-vs-incremental pair on the low-churn world at one worker (a
+single inline shard, isolating the revision journal's clean-skip
+savings from fork overhead).  The standalone acceptance gate is ≥ 2×
+sweep throughput with a byte-identical export.
 """
 
 from __future__ import annotations
@@ -39,7 +45,8 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 WORKER_COUNTS = (1, 2, 4)
 
 
-def _config(scale: str, workers: int, weeks: Optional[int]) -> ScenarioConfig:
+def _config(scale: str, workers: int, weeks: Optional[int],
+            incremental: bool = False, low_churn: bool = False) -> ScenarioConfig:
     if scale == "tiny":
         config = ScenarioConfig.tiny()
     elif scale == "small":
@@ -49,12 +56,21 @@ def _config(scale: str, workers: int, weeks: Optional[int]) -> ScenarioConfig:
     if weeks is not None:
         config.weeks = weeks
     config.workers = workers
+    config.incremental = incremental
+    if low_churn:
+        # The churn-proportional acceptance scenario: a quiet world
+        # where most weeks most names are provably unchanged.
+        config.lifecycle.weekly_release_rate = 0.002
     return config
 
 
-def run_variant(scale: str, workers: int, weeks: Optional[int]) -> Dict:
+def run_variant(scale: str, workers: int, weeks: Optional[int],
+                incremental: bool = False, low_churn: bool = False) -> Dict:
     """One full scenario run; sweep cost read off the stage metrics."""
-    result = run_scenario(_config(scale, workers, weeks))
+    result = run_scenario(
+        _config(scale, workers, weeks, incremental=incremental,
+                low_churn=low_churn)
+    )
     sweep = result.metrics.stage("monitor-sweep")
     executor = result.executor
     cache_hits = cache_misses = 0
@@ -69,6 +85,7 @@ def run_variant(scale: str, workers: int, weeks: Optional[int]) -> Dict:
     return {
         "workers": workers,
         "mode": mode,
+        "incremental": incremental,
         "wall_s": sweep.wall_time,
         "items": sweep.items_processed,
         "throughput": sweep.items_per_second,
@@ -176,6 +193,105 @@ def emit_results(runs: List[Dict], scale: str, out=sys.stdout) -> str:
     return table
 
 
+# -- incremental (churn-proportional) variant ------------------------------
+
+
+def measure_incremental(scale: str, weeks: Optional[int] = None) -> List[Dict]:
+    """Full-vs-incremental sweep pair on the low-churn scenario.
+
+    Both runs share the quiet world (0.2%/week release rate) at one
+    worker — a single inline shard, so the comparison isolates the
+    journal's clean-skip savings from fork overhead.  The incremental
+    run must export the byte-identical dataset (only the cost moves).
+    """
+    pair = [
+        run_variant(scale, 1, weeks, incremental=False, low_churn=True),
+        run_variant(scale, 1, weeks, incremental=True, low_churn=True),
+    ]
+    digests = {run["digest"] for run in pair}
+    assert len(digests) == 1, f"incremental export diverged from full: {digests}"
+    return pair
+
+
+def measure_incremental_isolated(scale: str,
+                                 weeks: Optional[int] = None) -> List[Dict]:
+    """The same pair, each run in a fresh interpreter (fair timing)."""
+    script = pathlib.Path(__file__).resolve()
+    env = dict(os.environ)
+    src = str(script.parents[1] / "src")
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    pair: List[Dict] = []
+    for incremental in (False, True):
+        cmd = [sys.executable, str(script),
+               "--variant", "1", "--scale", scale, "--low-churn"]
+        if incremental:
+            cmd.append("--incremental")
+        if weeks is not None:
+            cmd += ["--weeks", str(weeks)]
+        proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"bench variant incremental={incremental} failed:\n{proc.stderr}"
+            )
+        pair.append(json.loads(proc.stdout.splitlines()[-1]))
+    digests = {run["digest"] for run in pair}
+    assert len(digests) == 1, f"incremental export diverged from full: {digests}"
+    return pair
+
+
+def render_incremental(pair: List[Dict], scale: str) -> str:
+    baseline = pair[0]["throughput"]
+    rows = [
+        (
+            "incremental" if run["incremental"] else "full fused",
+            run["items"],
+            f"{run['wall_s']:.2f}",
+            f"{run['throughput']:,.0f}",
+            f"{run['throughput'] / baseline:.2f}x" if baseline else "-",
+        )
+        for run in pair
+    ]
+    return render_table(
+        ["sweep mode", "fqdns swept", "sweep wall s", "fqdn/s", "speedup"],
+        rows,
+        title=(
+            f"Churn-proportional sweep, full vs --incremental "
+            f"({scale} scenario, low churn, {pair[0]['weeks']} weeks, "
+            f"digests byte-identical)"
+        ),
+    )
+
+
+def emit_incremental(pair: List[Dict], scale: str, out=sys.stdout) -> str:
+    table = render_incremental(pair, scale)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "sweep_incremental.txt").write_text(
+        table + "\n", encoding="utf-8"
+    )
+    baseline = pair[0]["throughput"]
+    (RESULTS_DIR / "sweep_incremental.json").write_text(
+        json.dumps(
+            {
+                "scale": scale,
+                "weeks": pair[0]["weeks"],
+                "runs": [
+                    {key: run[key] for key in
+                     ("incremental", "items", "wall_s", "throughput")}
+                    for run in pair
+                ],
+                "incremental_speedup": (
+                    pair[1]["throughput"] / baseline if baseline else 0.0
+                ),
+            },
+            indent=2,
+        ) + "\n",
+        encoding="utf-8",
+    )
+    print(f"\n=== sweep_incremental ({scale}) ===\n{table}\n", file=out)
+    return table
+
+
 # -- pytest entry point ----------------------------------------------------
 
 
@@ -197,6 +313,17 @@ def test_sweep_parallel_throughput(emit):
             assert abs(run["last_sweep_wall_s"] - run["last_sweep_cpu_s"]) < 1e-9
 
 
+def test_sweep_incremental_throughput(emit):
+    """Full-vs-incremental parity + throughput on the low-churn world."""
+    pair = measure_incremental("small")
+    emit_incremental(pair, "small")
+    emit("sweep_incremental", render_incremental(pair, "small"))
+    speedup = pair[1]["throughput"] / pair[0]["throughput"]
+    # In-process conservative floor; the >= 2x acceptance gate applies
+    # to the isolated standalone run.
+    assert speedup >= 1.5, f"incremental sweep only {speedup:.2f}x full"
+
+
 # -- standalone entry point ------------------------------------------------
 
 
@@ -212,9 +339,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "print its result row as JSON")
     parser.add_argument("--scale", default=None,
                         help="internal: scenario scale for --variant")
+    parser.add_argument("--incremental", action="store_true",
+                        help="internal: run the --variant with "
+                             "churn-proportional sweeps on")
+    parser.add_argument("--low-churn", action="store_true",
+                        help="internal: run the --variant on the quiet "
+                             "(0.2%%/week release) world")
     args = parser.parse_args(argv)
     if args.variant is not None:
-        run = run_variant(args.scale or "full", args.variant, args.weeks)
+        run = run_variant(args.scale or "full", args.variant, args.weeks,
+                          incremental=args.incremental,
+                          low_churn=args.low_churn)
         print(json.dumps(run))
         return 0
     scale = "small" if args.quick else "full"
@@ -227,6 +362,15 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 1
     print(f"speedup at {runs[-1]['workers']} workers: {speedup:.2f}x")
+    pair = measure_incremental_isolated(scale, weeks=args.weeks)
+    emit_incremental(pair, scale)
+    inc_speedup = pair[1]["throughput"] / pair[0]["throughput"]
+    inc_floor = 1.5 if args.quick else 2.0
+    if inc_speedup < inc_floor:
+        print(f"FAIL: incremental sweep {inc_speedup:.2f}x below the "
+              f"{inc_floor:.1f}x floor", file=sys.stderr)
+        return 1
+    print(f"incremental sweep speedup (low churn): {inc_speedup:.2f}x")
     return 0
 
 

@@ -123,7 +123,7 @@ class CampaignOrchestrator:
             asset = assets.get(fqdn)
             if asset is not None:
                 self._ground_truth.record_takeover(asset, group.name, resource, at)
-        self._internet.events.record(
+        self._internet.revisions.publish(
             at, "attacker.takeover", primary,
             group=group.name, service=candidate.service_key,
             victims=list(victims),

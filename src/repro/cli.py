@@ -5,7 +5,7 @@
     python -m repro run        [--seed N] [--weeks N] [--scale tiny|small|full]
                                [--notify] [--randomize-names] [--export PATH]
                                [--faults [LEVEL]] [--fault-seed N] [--retries N]
-                               [--workers N]
+                               [--workers N] [--incremental]
     python -m repro report     [--seed N] [--scale ...]
     python -m repro audit      [--seed N] [--scale ...]
     python -m repro pipeline   [--seed N] [--scale ...]
@@ -36,6 +36,12 @@ FQDNs.
 ``--workers N`` shards each weekly monitor sweep across N forked
 workers, merged deterministically in shard order: a fault-free run
 exports byte-identical datasets for any worker count.
+
+``--incremental`` makes sweeps churn-proportional: each week the
+monitor asks the world's revision journal what changed since its last
+pass and extends unchanged names' observation windows from its touch
+ledger instead of re-sampling them.  Exports stay byte-identical to a
+full sweep's for any seed and worker count.
 """
 
 from __future__ import annotations
@@ -92,6 +98,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="sweep workers: shard the weekly monitor "
                               "sweep across N forked workers (default 1 "
                               "= serial baseline)")
+        cmd.add_argument("--incremental", action="store_true",
+                         help="churn-proportional sweeps: skip names whose "
+                              "revision-journal dependencies are unchanged "
+                              "since their last sample (byte-identical "
+                              "exports to a full sweep)")
         cmd.add_argument("--metrics", action="store_true",
                          help="collect and print the deterministic "
                               "metrics registry after the run")
@@ -125,6 +136,7 @@ def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
     if getattr(args, "retries", None) is not None:
         config.monitor.retry = RetryPolicy.standard(max(1, args.retries))
     config.workers = max(1, getattr(args, "workers", 1) or 1)
+    config.incremental = bool(getattr(args, "incremental", False))
     return config
 
 

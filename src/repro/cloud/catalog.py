@@ -76,6 +76,7 @@ def build_catalog(
     edge_icmp_drop_rate: float = 0.28,
     reregistration_cooldown: timedelta = timedelta(0),
     randomize_names: bool = False,
+    journal=None,
 ) -> CloudCatalog:
     """Stand up every provider with its pools, edges, zones and GeoIP.
 
@@ -107,6 +108,7 @@ def build_catalog(
             edge_icmp_drop_rate=edge_icmp_drop_rate,
             reregistration_cooldown=reregistration_cooldown,
             randomize_names=randomize_names,
+            journal=journal,
         )
         providers[provider_name] = provider
         country = DEFAULT_PROVIDER_COUNTRIES.get(provider_name, "US")

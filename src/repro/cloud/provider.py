@@ -35,6 +35,7 @@ from repro.dns.zone import ZoneRegistry
 from repro.net.addresses import IPv4Pool
 from repro.net.network import Network
 from repro.sim.events import EventLog
+from repro.sim.revisions import RevisionJournal
 from repro.web.server import VirtualHostServer, dedicated_server
 
 
@@ -87,6 +88,7 @@ class CloudProvider:
         edge_icmp_drop_rate: float = 0.0,
         reregistration_cooldown: timedelta = timedelta(0),
         randomize_names: bool = False,
+        journal: Optional[RevisionJournal] = None,
     ):
         self.name = name
         self.specs = {spec.key: spec for spec in specs}
@@ -94,7 +96,14 @@ class CloudProvider:
         self._zones = zones
         self._network = network
         self._rng = rng
+        if events is None and journal is not None and journal.events is not None:
+            # A journal bound to a log implies that log is the world's.
+            events = journal.events
         self._events = events if events is not None else EventLog()
+        #: Revision journal every mutation (provision, release, routing,
+        #: site content) publishes through; a private one bound to this
+        #: provider's event log keeps standalone providers working.
+        self.journal = journal if journal is not None else RevisionJournal(self._events)
         self.reregistration_cooldown = reregistration_cooldown
         self.randomize_names = randomize_names
         self._resolver: Optional[Resolver] = None
@@ -126,7 +135,7 @@ class CloudProvider:
     def _build_edges(self, edge_count: int, icmp_drop_rate: float) -> None:
         for index in range(edge_count):
             drop_icmp = self._rng.random() < icmp_drop_rate
-            edge = VirtualHostServer(self.name, icmp=not drop_icmp)
+            edge = VirtualHostServer(self.name, icmp=not drop_icmp, journal=self.journal)
             ip = self.pool.allocate(self._rng)
             self._network.bind(ip, edge)
             edge.ip = ip  # annotate for routing bookkeeping
@@ -249,7 +258,9 @@ class CloudProvider:
         self, spec: CloudServiceSpec, name: str, owner: str, at: datetime
     ) -> CloudResource:
         resource = CloudResource(spec=spec, name=name, owner=owner, created_at=at)
-        server = dedicated_server(self.name, resource.site, fault_plan=self.fault_plan)
+        server = dedicated_server(
+            self.name, resource.site, fault_plan=self.fault_plan, journal=self.journal
+        )
         ip = self.pool.allocate(self._rng)
         self._network.bind(ip, server)
         server.ip = ip
@@ -281,11 +292,27 @@ class CloudProvider:
         self._all_resources.append(resource)
         if edge is not None:
             self._resource_edges[(resource.service_key, resource.name)] = edge
+        self._adopt_site(resource)
+        self.journal.bump("cloud", resource.generated_fqdn or resource.ip)
         self._events.record(
             at, "cloud.provision", resource.generated_fqdn or resource.ip,
             provider=self.name, service=resource.service_key,
             name=resource.name, owner=resource.owner,
         )
+
+    def _adopt_site(self, resource: CloudResource) -> None:
+        """Attach the resource's site to the journal under a stable key.
+
+        The key survives site swaps (``replace_site``) and — on purpose
+        — collides across re-registrations of the same freetext name,
+        so a monitor that sampled the old tenant sees the new tenant's
+        deploys as changes to the same subject.
+        """
+        site = resource.site
+        if site is not None and hasattr(site, "bind_journal"):
+            site.bind_journal(
+                self.journal, (self.name, resource.service_key, resource.name)
+            )
 
     # -- release -------------------------------------------------------------------------------
 
@@ -317,6 +344,7 @@ class CloudProvider:
         resource.released_at = at
         del self._active[key]
         self._released_at[key] = at
+        self.journal.bump("cloud", resource.generated_fqdn or resource.ip)
         self._events.record(
             at, "cloud.release", resource.generated_fqdn or resource.ip,
             provider=self.name, service=resource.service_key,
@@ -357,6 +385,7 @@ class CloudProvider:
             raise CustomDomainError("resource has no edge (dedicated-IP resource?)")
         edge.route(fqdn, resource.site)
         resource.custom_domains.append(fqdn)
+        self.journal.bump("cloud", fqdn)
         self._events.record(
             at, "cloud.custom_domain", fqdn,
             provider=self.name, service=resource.service_key,
@@ -380,6 +409,11 @@ class CloudProvider:
                 edge.unroute(hostname)
                 edge.route(hostname, site)
         resource.site = site
+        self._adopt_site(resource)
+        # The swap itself is a content change for the site's subject,
+        # even before the new tenant writes a single page.
+        if hasattr(site, "journal_key") and site.journal_key is not None:
+            self.journal.bump("site", site.journal_key)
 
     def install_certificate(self, resource: CloudResource, hostname: str, certificate) -> None:
         """Install a TLS certificate for ``hostname`` on the resource's server."""

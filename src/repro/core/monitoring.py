@@ -13,6 +13,8 @@ and what change detection consumes.
 from __future__ import annotations
 
 import hashlib
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from datetime import datetime
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
@@ -64,6 +66,11 @@ class MonitorConfig:
     #: The default (one attempt, no retries) is the pre-resilience
     #: behaviour; chaos runs raise it to ride out transient faults.
     retry: RetryPolicy = field(default_factory=RetryPolicy.none)
+    #: Maximum entries the monitor's :class:`TouchLedger` retains.  A
+    #: ledger entry is small, but a 3-year scenario monitors a growing
+    #: population — the cap bounds memory and evicts least-recently
+    #: refreshed names first (they just fall back to full samples).
+    touch_ledger_cap: int = 65536
 
 
 @dataclass(frozen=True)
@@ -209,6 +216,76 @@ class ExtractionCache:
         self.misses += other.misses
 
 
+@dataclass(frozen=True)
+class TouchEntry:
+    """Proof that a name's last full sample is still current.
+
+    ``deps`` are the revision-journal subjects the sample's outcome
+    depends on — the DNS names its resolution walked (exact and
+    wildcard keys, plus the zone-set key), the edge route and network
+    binding it was served through, and the site whose content it
+    hashed.  While none of those subjects move in the journal, the
+    name's observable state provably equals ``state_key`` and a sweep
+    may extend its observation window without re-sampling.
+
+    ``observed`` replays the passive-DNS observations the skipped
+    resolution would have produced, keeping exports byte-identical.
+    Entries are plain data (no live world references), so they survive
+    pickling across process-pool boundaries and checkpoint resumes.
+    """
+
+    fqdn: Name
+    deps: Tuple[Tuple[str, object], ...]
+    state_key: Tuple
+    observed: Tuple = ()
+
+
+class TouchLedger:
+    """Size-capped store of :class:`TouchEntry` proofs, monitor-owned.
+
+    Replaces the old identity-comparison touch memo that workers used
+    to inject onto the monitor via a private attribute: entries here
+    are validated against the revision journal (value semantics), not
+    against Python object identity, so they stay valid across process
+    forks and site types.  ``cursor`` marks the journal position the
+    ledger was last reconciled at: every live entry's dependencies are
+    unchanged as of that cursor, so one ``changed_since(cursor)`` call
+    yields the sweep's dirty set.
+    """
+
+    def __init__(self, cap: int = 65536):
+        if cap <= 0:
+            raise ValueError(f"cap must be positive, got {cap}")
+        self.cap = cap
+        self._entries: "OrderedDict[Name, TouchEntry]" = OrderedDict()
+        #: Journal cursor as of the last completed sweep.
+        self.cursor = 0
+        self.evictions = 0
+
+    def get(self, fqdn: Name) -> Optional[TouchEntry]:
+        """The entry for ``fqdn``, if any.  Read-only: recency order is
+        deliberately not updated, so lookups behave identically whether
+        they happen inline or in a forked worker's copy."""
+        return self._entries.get(fqdn)
+
+    def put(self, fqdn: Name, entry: TouchEntry) -> None:
+        """Insert or refresh ``fqdn``'s entry, evicting when over cap."""
+        self._entries[fqdn] = entry
+        self._entries.move_to_end(fqdn)
+        while len(self._entries) > self.cap:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if OBS.enabled:
+                OBS.metrics.inc("monitor.touch_ledger.evictions")
+
+    def invalidate(self, fqdn: Name) -> None:
+        """Drop ``fqdn``'s entry (no-op when absent)."""
+        self._entries.pop(fqdn, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class WeeklyMonitor:
     """Takes the weekly samples and feeds the store."""
 
@@ -218,6 +295,8 @@ class WeeklyMonitor:
         store: Optional[SnapshotStore] = None,
         config: Optional[MonitorConfig] = None,
         extraction_cache: Optional[ExtractionCache] = None,
+        journal=None,
+        incremental: bool = False,
     ):
         self._client = client
         self.store = store if store is not None else SnapshotStore()
@@ -225,6 +304,14 @@ class WeeklyMonitor:
         #: Optional content-addressed extraction memo (None = always
         #: re-extract, the baseline serial behaviour).
         self.extraction_cache = extraction_cache
+        #: The world's :class:`repro.sim.revisions.RevisionJournal`;
+        #: required for incremental sweeps, harmless otherwise.
+        self.journal = journal
+        #: When true (and a journal is wired), sweeps compute a dirty
+        #: set from the journal and extend clean names' windows through
+        #: the :class:`TouchLedger` instead of re-sampling them.
+        self.incremental = incremental
+        self.touch_ledger = TouchLedger(cap=self.config.touch_ledger_cap)
         self.samples_taken = 0
         self.sitemap_fetches = 0
         self._last_sweep_failures: List[Tuple[Name, str]] = []
@@ -238,10 +325,18 @@ class WeeklyMonitor:
     def last_sweep_failures(self) -> List[Tuple[Name, str]]:
         """(fqdn, fetch_status) pairs whose *final* sample still ended
         in a transient failure — retries exhausted — in the most
-        recently *started* sweep.  Compat view: callers running sweeps
-        concurrently should pass their own ``failures`` sink to
-        :meth:`sweep_iter` instead.
+        recently *started* sweep.
+
+        .. deprecated::
+            Pass a ``failures`` sink to :meth:`sweep_iter` instead; the
+            shared property is racy when sweeps interleave.
         """
+        warnings.warn(
+            "WeeklyMonitor.last_sweep_failures is deprecated; pass a "
+            "`failures` sink to sweep_iter() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._last_sweep_failures
 
     def sweep(

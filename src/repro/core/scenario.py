@@ -94,6 +94,12 @@ class ScenarioConfig:
     #: merged deterministically in shard order (fault-free runs export
     #: byte-identical digests for any worker count).
     workers: int = 1
+    #: Churn-proportional sweeps: the monitor computes each week's
+    #: dirty set from the world's revision journal and extends clean
+    #: names' windows through its touch ledger instead of re-sampling
+    #: them.  Exported digests stay byte-identical to a full sweep's
+    #: for any seed and worker count.
+    incremental: bool = False
 
     @classmethod
     def tiny(cls, seed: int = 42) -> "ScenarioConfig":
@@ -232,10 +238,17 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
             internet.catalog.cloud_ips,
         )
         collector.ingest(candidate_names(internet, organizations), clock.now)
-    monitor = WeeklyMonitor(internet.client, config=config.monitor)
+    monitor = WeeklyMonitor(
+        internet.client,
+        config=config.monitor,
+        journal=internet.revisions,
+        incremental=config.incremental,
+    )
+    # Incremental sweeps ride the sharded executor's fused path even at
+    # one worker (a single inline shard is byte-identical to serial).
     executor: SweepExecutor = (
         ProcessExecutor(workers=config.workers)
-        if config.workers > 1
+        if config.workers > 1 or config.incremental
         else SerialExecutor()
     )
     detector = AbuseDetector(monitor.store, config.detector, whois=internet.whois)

@@ -332,6 +332,13 @@ class Resolver:
         """The passive-DNS record groups a memo entry replays, in order."""
         return entry[5]
 
+    @staticmethod
+    def memo_touched(entry) -> tuple:
+        """The ``(zone, name, name_ver, wkey, wkey_ver)`` tuples a memo
+        entry's walk consulted — the names whose revisions pin the
+        resolution outcome (the revision-journal dependency set)."""
+        return entry[1]
+
     def _observe(self, records: List[ResourceRecord], at: Optional[datetime]) -> None:
         if self._passive_dns is not None and at is not None:
             for record in records:

@@ -15,6 +15,12 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.dns.names import Name, is_subdomain_of, normalize_name, parent_name
 from repro.dns.records import RRType, ResourceRecord
 from repro.obs import OBS
+from repro.sim.revisions import RevisionJournal
+
+
+#: Journal key (under kind ``"dns"``) bumped whenever the zone *set*
+#: changes — registering a new zone can re-route any name.
+ZONE_SET_KEY = "__zones__"
 
 
 @dataclass(frozen=True)
@@ -29,7 +35,7 @@ class ZoneChange:
 class Zone:
     """All records at or below an apex name, with history."""
 
-    def __init__(self, apex: Name):
+    def __init__(self, apex: Name, journal: Optional[RevisionJournal] = None):
         self.apex = normalize_name(apex)
         self._records: Dict[Tuple[Name, RRType], List[ResourceRecord]] = {}
         self._history: List[ZoneChange] = []
@@ -44,12 +50,14 @@ class Zone:
         #: revalidate on every hit, so a stale answer can never outlive
         #: the zone change that invalidated it.
         self.version = 0
-        #: Per-name mutation counters.  A ``lookup``/``name_exists``
-        #: outcome for ``name`` is fully pinned by the versions of
-        #: ``name`` itself and of its wildcard key ``*.parent(name)``,
-        #: so memos validated at this granularity survive the weekly
-        #: churn of *other* names in a big shared provider zone.
-        self._name_versions: Dict[Name, int] = {}
+        #: Per-name revisions live in the world-wide journal under
+        #: ``("dns", name)``.  A ``lookup``/``name_exists`` outcome for
+        #: ``name`` is fully pinned by the revisions of ``name`` itself
+        #: and of its wildcard key ``*.parent(name)``, so memos
+        #: validated at this granularity survive the weekly churn of
+        #: *other* names in a big shared provider zone.  An unshared
+        #: private journal keeps standalone zones self-contained.
+        self.journal = journal if journal is not None else RevisionJournal()
 
     # -- queries ----------------------------------------------------------
 
@@ -95,7 +103,7 @@ class Zone:
 
     def name_version(self, name: Name) -> int:
         """Mutation counter for ``name`` alone (0 = never mutated)."""
-        return self._name_versions.get(name, 0)
+        return self.journal.revision("dns", name)
 
     def name_exists(self, name: Name) -> bool:
         """Whether any record type currently exists at ``name``."""
@@ -142,7 +150,7 @@ class Zone:
         self._history.append(ZoneChange(at=at, action="add", record=record))
         self._lookup_cache.clear()
         self.version += 1
-        self._name_versions[record.name] = self._name_versions.get(record.name, 0) + 1
+        self.journal.bump("dns", record.name)
         return record
 
     def remove(self, record: ResourceRecord, at: datetime) -> None:
@@ -155,7 +163,7 @@ class Zone:
         self._history.append(ZoneChange(at=at, action="remove", record=record))
         self._lookup_cache.clear()
         self.version += 1
-        self._name_versions[record.name] = self._name_versions.get(record.name, 0) + 1
+        self.journal.bump("dns", record.name)
 
     def remove_all(self, name: Name, rtype: RRType, at: datetime) -> int:
         """Remove every ``rtype`` record at ``name``; returns the count."""
@@ -181,7 +189,10 @@ class ZoneRegistry:
     ``azurewebsites.net`` rather than ``net``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, journal: Optional[RevisionJournal] = None) -> None:
+        #: Shared revision journal handed to every zone this registry
+        #: creates; a private one keeps standalone registries working.
+        self.journal = journal if journal is not None else RevisionJournal()
         self._zones: Dict[Name, Zone] = {}
         #: Memo of name → covering zone (``None`` = no zone covers it),
         #: invalidated whenever a zone is registered.  Zone *content*
@@ -198,12 +209,15 @@ class ZoneRegistry:
         normalized = normalize_name(apex)
         if normalized in self._zones:
             raise ValueError(f"zone {normalized} already exists")
-        zone = Zone(normalized)
+        zone = Zone(normalized, journal=self.journal)
         self._zones[normalized] = zone
         # A new zone may now be the most specific cover for previously
         # memoized names (including negative entries): drop the memo.
         self._zone_for.clear()
         self.version += 1
+        # The zone *set* changing can re-route any name's resolution,
+        # so it is a change signal of its own.
+        self.journal.bump("dns", ZONE_SET_KEY)
         return zone
 
     def get_zone(self, apex: Name) -> Optional[Zone]:

@@ -38,22 +38,31 @@ class Network:
     the host itself stays healthy; only this traversal is faulty.
     """
 
-    def __init__(self, fault_plan=None) -> None:
+    def __init__(self, fault_plan=None, journal=None) -> None:
         self._hosts: Dict[str, Host] = {}
         self.fault_plan = fault_plan
+        #: Optional :class:`repro.sim.revisions.RevisionJournal`; when
+        #: set, every (un)bind bumps ``("net", ip)`` so incremental
+        #: sweeps notice addresses going dark or lighting back up.
+        self.journal = journal
 
     def bind(self, ip: str, host: Host) -> None:
         """Attach ``host`` at ``ip``; rebinding an address is an error."""
         if ip in self._hosts:
             raise ValueError(f"{ip} is already bound")
         self._hosts[ip] = host
+        if self.journal is not None:
+            self.journal.bump("net", ip)
 
     def unbind(self, ip: str) -> Host:
         """Detach and return the host at ``ip``."""
         try:
-            return self._hosts.pop(ip)
+            host = self._hosts.pop(ip)
         except KeyError:
             raise KeyError(f"{ip} is not bound") from None
+        if self.journal is not None:
+            self.journal.bump("net", ip)
+        return host
 
     def host_at(self, ip: str) -> Optional[Host]:
         """The host bound at ``ip``, or ``None`` if the address is dark."""

@@ -21,7 +21,7 @@ CACHE_SERIES: Tuple[Tuple[str, str, str], ...] = (
     ("zone cover (zone_for)", "zone.zone_for.memo_hits", "zone.zone_for.memo_misses"),
     ("html extraction", "extraction.html.hits", "extraction.html.misses"),
     ("sitemap extraction", "extraction.sitemap.hits", "extraction.sitemap.misses"),
-    ("touch memo (fast path)", "sweep.sample.touch_fast", "sweep.sample.full"),
+    ("touch ledger (clean skips)", "journal.clean_skips", "sweep.sample.full"),
 )
 
 #: How many spans / edges the tables keep.
@@ -105,7 +105,9 @@ def _sweep_table(result, metrics) -> str:
         ("samples taken", counters.get("monitor.samples", 0)),
         ("fused shards", counters.get("sweep.shards.fused", 0)),
         ("generic shards", counters.get("sweep.shards.generic", 0)),
-        ("touch-fast samples", counters.get("sweep.sample.touch_fast", 0)),
+        ("journal clean skips", counters.get("journal.clean_skips", 0)),
+        ("journal dirty hits", counters.get("journal.dirty", 0)),
+        ("touch-ledger evictions", counters.get("monitor.touch_ledger.evictions", 0)),
         ("touch-marker samples", counters.get("sweep.sample.touch", 0)),
         ("full fused samples", counters.get("sweep.sample.full", 0)),
         ("generic samples", counters.get("sweep.sample.generic", 0)),

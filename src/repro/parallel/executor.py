@@ -251,6 +251,11 @@ class ProcessExecutor(SweepExecutor):
         plan = client.fault_plan
         breaker = client.breaker
         resolver = client.resolver
+        ledger = (
+            monitor.touch_ledger
+            if monitor.incremental and monitor.journal is not None
+            else None
+        )
         report = SweepReport()
         for result in results:
             if forked:
@@ -285,9 +290,21 @@ class ProcessExecutor(SweepExecutor):
                     is_new, previous = monitor.store.record(entry)
                     if is_new:
                         report.changed.append((entry, previous))
+                    if ledger is not None:
+                        # A full sample supersedes any ledger proof: the
+                        # name was dirty (or unproven), so the old entry
+                        # must not survive into the next sweep.
+                        ledger.invalidate(entry.fqdn)
                 else:
                     # Touch marker: the shard proved the state unchanged.
                     monitor.store.touch(entry, at)
+                    if ledger is not None:
+                        fresh = result.ledger_entries.get(entry)
+                        if fresh is not None:
+                            ledger.put(entry, fresh)
+            if ledger is not None:
+                for fqdn, _status in result.failures:
+                    ledger.invalidate(fqdn)
             report.failures.extend(result.failures)
             report.samples_taken += result.samples_taken
             report.sitemap_fetches += result.sitemap_fetches
@@ -301,4 +318,10 @@ class ProcessExecutor(SweepExecutor):
             report.shard_sizes.append(result.size)
             report.shard_walls.append(result.wall_seconds)
             report.cpu_seconds += result.wall_seconds
+        if ledger is not None:
+            # The world is quiescent during a sweep, so the journal's
+            # position now equals its position when the shards computed
+            # their dirty sets: every surviving entry's dependencies are
+            # unchanged as of this cursor.
+            ledger.cursor = monitor.journal.cursor()
         return report

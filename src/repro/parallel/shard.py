@@ -39,17 +39,18 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.monitoring import (
     ExtractionCache,
     SnapshotFeatures,
+    TouchEntry,
+    TouchLedger,
     TRANSIENT_SAMPLE_STATUSES,
     WeeklyMonitor,
 )
 from repro.dns.names import Name
-from repro.dns.passive_dns import PassiveDNS
 from repro.dns.records import RRType
 from repro.dns.resolver import ResolutionStatus, Resolver
+from repro.dns.zone import ZONE_SET_KEY
 from repro.obs import OBS, MetricsRegistry
 from repro.web.client import FetchStatus
 from repro.web.http import HttpRequest
-from repro.web.site import StaticSite
 
 
 #: Enum ``.value`` reads hoisted out of the fused loop — each is a
@@ -81,94 +82,82 @@ def _body_hash(body: str) -> str:
     return cached
 
 
-def _touch_memo_store(
-    monitor, resolver, fqdn: Name, ip: str, host, previous
-) -> None:
-    """Memoize a touch outcome so next week can revalidate by identity.
+def _ledger_entry(
+    resolver: Resolver, fqdn: Name, ip: str, host, previous: SnapshotFeatures
+) -> Optional[TouchEntry]:
+    """Build the :class:`TouchEntry` proving this touch outcome.
 
-    An entry captures every object whose identity pins the sample
-    outcome: the resolver's (still-valid) memo entry for the name, the
-    routed edge host, the site and the exact body string it serves at
-    "/", and the stored state the touch extended.  Any DNS change bumps
-    a version and kills the resolver entry; any redeploy swaps the body
-    string; any reroute swaps the site; any recorded change swaps the
-    stored state — each breaks one identity check and forces the full
-    fused sample.  Only plain :class:`StaticSite` content qualifies:
-    its ``handle`` is pure, so an identical body object proves an
-    identical response.
+    Captures every revision-journal subject the sample's outcome
+    depends on: the DNS names the resolution walked (exact and wildcard
+    keys) plus the zone-set key, the edge route and network binding the
+    response came through, and the journal-adopted site whose content
+    was hashed.  While none of those subjects move, the observable
+    state provably equals ``previous.state_key()``.  Entries are plain
+    data — they survive pickling across worker pipes, unlike the old
+    identity memo whose child-created entries died with the fork.
     """
     site_for = getattr(host, "site_for", None)
     if site_for is None:
-        return
+        return None
     site = site_for(fqdn)
-    if type(site) is not StaticSite:
-        return
-    body = site.get("/")
-    if body is None:
-        return
+    site_key = getattr(site, "journal_key", None)
+    if site_key is None:
+        # Unadopted content (no provider bound it to the journal) has
+        # no change signal; it must keep taking the full sample.
+        return None
     res_entry = resolver.memo_entry(fqdn, RRType.A)
     if res_entry is None:
-        return
-    feed = resolver.passive_dns
-    observations = None
-    if type(feed) is PassiveDNS:
-        observations = tuple(
-            feed.observation_for(record)
-            for group in Resolver.memo_observed(res_entry)
-            for record in group
-        )
-        if any(obs is None for obs in observations):
-            observations = None
-    memo = getattr(monitor, "_touch_memo", None)
-    if memo is None:
-        memo = {}
-        monitor._touch_memo = memo
-    memo[fqdn] = (res_entry, observations, feed, ip, host, site, body, previous)
+        return None
+    deps = [("dns", ZONE_SET_KEY)]
+    for _zone, name, _ver, wkey, _wver in Resolver.memo_touched(res_entry):
+        deps.append(("dns", name))
+        if wkey is not None:
+            deps.append(("dns", wkey))
+    deps.append(("web", fqdn.lower()))
+    deps.append(("net", ip))
+    deps.append(("site", site_key))
+    observed = tuple(
+        record
+        for group in Resolver.memo_observed(res_entry)
+        for record in group
+    )
+    return TouchEntry(
+        fqdn=fqdn,
+        deps=tuple(deps),
+        state_key=previous.state_key(),
+        observed=observed,
+    )
 
 
-def _touch_fast(monitor, client, resolver, memo, fqdn: Name, at: datetime) -> bool:
-    """Re-prove last week's touch outcome by versions and identity.
+def _touch_clean(
+    monitor, resolver, ledger: TouchLedger, changed, fqdn: Name, at: datetime
+) -> bool:
+    """Extend a clean name's window from its ledger proof.
 
-    True means the sample provably repeats: DNS unchanged (resolver
-    memo entry still valid and identical), same edge host, same site
-    object serving the same body string, same stored state — so the
-    only side effects are the passive-DNS observation bumps the full
-    resolve would have made, replayed here, plus the sample counter.
+    True means the name is provably unchanged: it holds a ledger entry,
+    none of the entry's journal dependencies moved since the ledger's
+    cursor, and the stored state the entry extends is still current.
+    The only side effects are the passive-DNS observations the skipped
+    resolution would have produced — replayed by value, which works
+    identically against the parent feed (inline) and the forked-mode
+    recorder — plus the sample counter.
     """
-    entry = memo.get(fqdn)
+    entry = ledger.get(fqdn)
     if entry is None:
         return False
-    if resolver.memo_entry(fqdn, RRType.A) is not entry[0]:
-        del memo[fqdn]
+    if changed and not changed.isdisjoint(entry.deps):
+        if OBS.enabled:
+            OBS.metrics.inc("journal.dirty")
         return False
-    host = client.network.host_at(entry[3])
-    if host is not entry[4]:
-        del memo[fqdn]
+    latest = monitor.store.latest(fqdn)
+    if latest is None or latest.state_key() != entry.state_key:
+        if OBS.enabled:
+            OBS.metrics.inc("journal.dirty")
         return False
-    site = host.site_for(fqdn)
-    if site is not entry[5] or site.get("/") is not entry[6]:
-        del memo[fqdn]
-        return False
-    if monitor.store.latest(fqdn) is not entry[7]:
-        del memo[fqdn]
-        return False
-    observations = entry[1]
     feed = resolver.passive_dns
-    if observations is not None and feed is entry[2]:
-        # Direct bump — exactly PassiveDNS.observe's existing-entry
-        # branch, minus the key lookup.
-        for obs in observations:
-            if at > obs.last_seen:
-                obs.last_seen = at
-            elif at < obs.first_seen:
-                obs.first_seen = at
-            obs.count += 1
-    elif feed is not None:
-        # Interposed feed (forked-mode recorder): go through observe()
-        # so the replay log sees every observation.
-        for group in Resolver.memo_observed(entry[0]):
-            for record in group:
-                feed.observe(record, at)
+    if feed is not None:
+        for record in entry.observed:
+            feed.observe(record, at)
     monitor.samples_taken += 1
     return True
 
@@ -208,6 +197,12 @@ class ShardResult:
     new_sitemap: Dict[str, Tuple[int, int, Tuple[str, ...]]] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Fresh :class:`TouchEntry` proofs minted by this shard's touch
+    #: markers (incremental mode only).  Plain data, so they survive
+    #: the pickle pipe; the parent installs them into the monitor's
+    #: ledger in shard order — the old identity memo lost every entry
+    #: a forked child created.
+    ledger_entries: Dict[Name, TouchEntry] = field(default_factory=dict)
     wall_seconds: float = 0.0
     fused: bool = False
     #: Shard-local observability, shipped home in forked mode only:
@@ -326,7 +321,9 @@ def run_shard(
             OBS.metrics.inc(
                 "sweep.shards.fused" if fused else "sweep.shards.generic"
             )
-        touch_memo: Dict[Name, tuple] = {}
+        ledger: Optional[TouchLedger] = None
+        changed = None
+        ledger_out: Optional[Dict[Name, TouchEntry]] = None
         if fused:
             # Part of the fast path: version-validated resolution
             # memoization.  Forked workers enable it on their own copy;
@@ -334,10 +331,15 @@ def run_shard(
             # every hit is revalidated against the zone versions and
             # replays identical passive-DNS observations.
             resolver.enable_memo()
-            touch_memo = getattr(monitor, "_touch_memo", None)
-            if touch_memo is None:
-                touch_memo = {}
-                monitor._touch_memo = touch_memo
+            if monitor.incremental and monitor.journal is not None:
+                # The sweep's dirty set: every journal subject that
+                # moved since the ledger's cursor.  The world is
+                # quiescent during a sweep, so the set is identical in
+                # every shard — and empty in the steady state, making
+                # the per-name check one dict get plus a guard.
+                ledger = monitor.touch_ledger
+                changed = monitor.journal.changed_since(ledger.cursor)
+                ledger_out = result.ledger_entries
         headers = {"User-Agent": monitor.config.user_agent}
         with OBS.tracer.span(
             "sweep.shard", sim=at, shard=index, size=len(fqdns),
@@ -345,13 +347,15 @@ def run_shard(
         ):
             for fqdn in fqdns:
                 if fused:
-                    if _touch_fast(monitor, client, resolver, touch_memo, fqdn, at):
+                    if ledger is not None and _touch_clean(
+                        monitor, resolver, ledger, changed, fqdn, at
+                    ):
                         if obs_on:
                             OBS.metrics.inc("monitor.samples")
-                            OBS.metrics.inc("sweep.sample.touch_fast")
+                            OBS.metrics.inc("journal.clean_skips")
                         result.sampled.append(fqdn)
                         continue
-                    features = _sample_fused(monitor, fqdn, at, headers)
+                    features = _sample_fused(monitor, fqdn, at, headers, ledger_out)
                     if not isinstance(features, SnapshotFeatures):
                         # Touch marker: the state is unchanged, ship the
                         # name alone and let the parent bump the window.
@@ -406,7 +410,11 @@ def run_shard(
 
 
 def _sample_fused(
-    monitor: WeeklyMonitor, fqdn: Name, at: datetime, headers: Dict[str, str]
+    monitor: WeeklyMonitor,
+    fqdn: Name,
+    at: datetime,
+    headers: Dict[str, str],
+    ledger_out: Optional[Dict[Name, TouchEntry]] = None,
 ) -> Union[SnapshotFeatures, Name]:
     """One weekly sample on the fused healthy-world path.
 
@@ -425,6 +433,11 @@ def _sample_fused(
     have deduplicated the sample anyway.  The marker skips the features
     construction entirely; the store just extends the current state's
     observation window.
+
+    In incremental mode (``ledger_out`` given) every touch marker also
+    mints a :class:`TouchEntry` proof into ``ledger_out`` so future
+    sweeps can skip the name outright while its journal dependencies
+    stay put.
     """
     monitor.samples_taken += 1
     if OBS.enabled:
@@ -488,7 +501,10 @@ def _sample_fused(
         and previous.addresses == addresses
         and previous.sitemap_count >= 0
     ):
-        _touch_memo_store(monitor, client.resolver, fqdn, addresses[0], host, previous)
+        if ledger_out is not None:
+            entry = _ledger_entry(client.resolver, fqdn, addresses[0], host, previous)
+            if entry is not None:
+                ledger_out[fqdn] = entry
         return fqdn
     if previous is not None and previous.html_hash == body_hash:
         features = replace(

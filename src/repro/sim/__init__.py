@@ -10,6 +10,7 @@ simulation so that a given seed always reproduces the same three-year
 
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventLog
+from repro.sim.revisions import RevisionJournal
 from repro.sim.rng import RngStreams
 
-__all__ = ["SimClock", "Event", "EventLog", "RngStreams"]
+__all__ = ["SimClock", "Event", "EventLog", "RevisionJournal", "RngStreams"]

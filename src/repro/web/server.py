@@ -57,8 +57,13 @@ class VirtualHostServer:
         icmp: bool = True,
         default_site: Optional[Site] = None,
         fault_plan=None,
+        journal=None,
     ):
         self.provider_name = provider_name
+        #: Optional :class:`repro.sim.revisions.RevisionJournal`; when
+        #: set, (un)routing a hostname bumps ``("web", hostname)`` so
+        #: incremental sweeps notice edge routing changes.
+        self.journal = journal
         #: The address this server is bound at, set by whoever binds it.
         self.ip: Optional[str] = None
         self._icmp = icmp
@@ -82,7 +87,10 @@ class VirtualHostServer:
 
     def route(self, hostname: str, site: Site) -> None:
         """Direct requests for ``hostname`` to ``site``."""
-        self._routes[hostname.lower()] = site
+        key = hostname.lower()
+        self._routes[key] = site
+        if self.journal is not None:
+            self.journal.bump("web", key)
 
     def unroute(self, hostname: str) -> None:
         """Remove the route for ``hostname`` (missing routes are an error)."""
@@ -91,6 +99,8 @@ class VirtualHostServer:
             raise KeyError(hostname)
         del self._routes[key]
         self._certificates.pop(key, None)
+        if self.journal is not None:
+            self.journal.bump("web", key)
 
     def routed_hosts(self) -> list:
         """All hostnames with routes, sorted."""
@@ -137,9 +147,10 @@ class VirtualHostServer:
 
 
 def dedicated_server(
-    provider_name: str, site: Site, icmp: bool = True, fault_plan=None
+    provider_name: str, site: Site, icmp: bool = True, fault_plan=None, journal=None
 ) -> VirtualHostServer:
     """A single-tenant server (cloud VM): every Host header hits ``site``."""
     return VirtualHostServer(
-        provider_name, icmp=icmp, default_site=site, fault_plan=fault_plan
+        provider_name, icmp=icmp, default_site=site, fault_plan=fault_plan,
+        journal=journal,
     )

@@ -35,8 +35,23 @@ class StaticSite:
         self._pages: Dict[str, str] = {}
         self._content_types: Dict[str, str] = {}
         self.default_headers: Dict[str, str] = dict(default_headers or {})
+        #: Set by :meth:`bind_journal` when a cloud provider adopts the
+        #: site.  ``journal_key`` is the site's stable identity in the
+        #: world journal; content edits bump ``("site", journal_key)``
+        #: so incremental sweeps can trust an untouched revision.
+        self._journal = None
+        self.journal_key = None
 
     # -- authoring -----------------------------------------------------------
+
+    def bind_journal(self, journal, key) -> None:
+        """Publish future content changes under ``("site", key)``."""
+        self._journal = journal
+        self.journal_key = key
+
+    def _bump(self) -> None:
+        if self._journal is not None:
+            self._journal.bump("site", self.journal_key)
 
     def put(self, path: str, body: str, content_type: str = "text/html") -> None:
         """Create or overwrite the content at ``path``."""
@@ -44,6 +59,7 @@ class StaticSite:
             raise ValueError(f"path must start with '/': {path!r}")
         self._pages[path] = body
         self._content_types[path] = content_type
+        self._bump()
 
     def put_index(self, body: str) -> None:
         """Set the index page."""
@@ -59,6 +75,7 @@ class StaticSite:
             raise KeyError(path)
         del self._pages[path]
         del self._content_types[path]
+        self._bump()
 
     # -- introspection ----------------------------------------------------------
 

@@ -28,6 +28,7 @@ from repro.pki.certificate import Certificate
 from repro.pki.ct_log import CTLog
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLog
+from repro.sim.revisions import RevisionJournal
 from repro.sim.rng import RngStreams
 from repro.web.client import HttpClient
 from repro.whois.registry import DomainRegistry
@@ -62,11 +63,16 @@ class Internet:
         self.streams = streams
         self.clock = clock if clock is not None else SimClock()
         self.events = EventLog()
+        #: World-wide revision journal: every mutation path (DNS, net
+        #: bindings, edge routing, site content, cloud lifecycle)
+        #: publishes through it, giving incremental sweeps one place to
+        #: ask "what changed since my last pass?".
+        self.revisions = RevisionJournal(self.events)
         #: The shared fault-injection plan (``None`` = fully healthy
         #: Internet — byte-identical to the pre-faults behaviour).
         self.faults = fault_plan
-        self.zones = ZoneRegistry()
-        self.network = Network(fault_plan=fault_plan)
+        self.zones = ZoneRegistry(journal=self.revisions)
+        self.network = Network(fault_plan=fault_plan, journal=self.revisions)
         self.passive_dns = PassiveDNS()
         self.resolver = Resolver(self.zones, self.passive_dns, fault_plan=fault_plan)
         self.catalog: CloudCatalog = build_catalog(
@@ -77,6 +83,7 @@ class Internet:
             edge_icmp_drop_rate=edge_icmp_drop_rate,
             reregistration_cooldown=reregistration_cooldown,
             randomize_names=randomize_names,
+            journal=self.revisions,
         )
         self.catalog.attach_resolver(self.resolver)
         if fault_plan is not None:
@@ -143,7 +150,7 @@ class Internet:
         installer = provider.challenge_installer(resource)
         certificate = ca.issue([hostname], installer, at)
         provider.install_certificate(resource, hostname, certificate)
-        self.events.record(
+        self.revisions.publish(
             at, "pki.issued", hostname,
             issuer=ca_name, owner=resource.owner, serial=certificate.serial,
         )

@@ -132,7 +132,7 @@ class WorldEngine:
                     self._purge_asset_record(org, asset, at)
                 else:
                     asset.dangling_since = at
-                    self._internet.events.record(
+                    self._internet.revisions.publish(
                         at, "world.dangling", asset.fqdn,
                         org=org.key, service=asset.service_key,
                     )
@@ -153,7 +153,7 @@ class WorldEngine:
         zone.remove_all(asset.fqdn, rtype, at)
         asset.purged_at = at
         if asset.dangling_since is not None:
-            self._internet.events.record(
+            self._internet.revisions.publish(
                 at, "world.purged", asset.fqdn, org=org.key
             )
 
@@ -169,7 +169,7 @@ class WorldEngine:
                 if org is not None:
                     self._purge_asset_record(org, asset, at)
                 self._ground_truth.mark_remediated(asset.fqdn, at)
-                self._internet.events.record(
+                self._internet.revisions.publish(
                     at, "world.remediated", asset.fqdn, attacker=record.attacker_group
                 )
 

@@ -273,10 +273,11 @@ def test_sweep_quarantines_exhausted_transient_failures():
     monitor = WeeklyMonitor(
         chaos.client, config=MonitorConfig(retry=RetryPolicy.standard(2))
     )
-    batches = list(monitor.sweep_iter([bad], T0, batch_size=2))
+    failures: list = []
+    batches = list(monitor.sweep_iter([bad], T0, batch_size=2, failures=failures))
     # The reset-forever FQDN never enters the store: no phantom state.
     assert batches == [[]]
-    assert monitor.last_sweep_failures == [(bad, "connection-reset")]
+    assert failures == [(bad, "connection-reset")]
     assert monitor.store.latest(bad) is None
 
 
@@ -299,8 +300,10 @@ def test_sweep_iter_failure_sink_is_per_call():
     batches = list(monitor.sweep_iter([bad], T0, failures=mine))
     assert batches == [[]]
     assert mine == [(bad, "connection-reset")]
-    # The compat view aliases the caller's sink for the latest sweep.
-    assert monitor.last_sweep_failures is mine
+    # The compat view still aliases the caller's sink, but using it now
+    # warns: the per-call sink is the supported interface.
+    with pytest.warns(DeprecationWarning):
+        assert monitor.last_sweep_failures is mine
 
 
 def test_interleaved_sweeps_do_not_clobber_failure_lists():
