@@ -6,6 +6,9 @@
                                [--notify] [--randomize-names] [--export PATH]
                                [--faults [LEVEL]] [--fault-seed N] [--retries N]
                                [--workers N] [--incremental]
+                               [--worker-faults [RATE]] [--shard-deadline S]
+                               [--checkpoint-dir DIR] [--checkpoint-every N]
+                               [--resume]
     python -m repro report     [--seed N] [--scale ...]
     python -m repro audit      [--seed N] [--scale ...]
     python -m repro pipeline   [--seed N] [--scale ...]
@@ -42,6 +45,18 @@ monitor asks the world's revision journal what changed since its last
 pass and extends unchanged names' observation windows from its touch
 ledger instead of re-sampling them.  Exports stay byte-identical to a
 full sweep's for any seed and worker count.
+
+``--worker-faults [RATE]`` injects deterministic *process* faults into
+the sweep workers — SIGKILL'd children at RATE per shard span, hung
+children at RATE/2 — which the self-healing supervisor survives by
+re-dispatching failed shards; exports stay byte-identical to the
+fault-free run.  ``--shard-deadline S`` bounds each worker's wall
+clock (auto-set when hang faults are on).
+
+``--checkpoint-dir DIR`` durably snapshots the whole engine every
+``--checkpoint-every N`` weeks (atomic, checksummed, keep-last-3);
+``--resume`` restores the newest intact checkpoint from that directory
+— skipping torn or corrupt files — and runs only the remaining weeks.
 """
 
 from __future__ import annotations
@@ -59,6 +74,7 @@ from repro.faults.plan import FaultConfig
 from repro.faults.retry import RetryPolicy
 from repro.obs import OBS, MetricsRegistry, Tracer
 from repro.obs.profile import render_profile
+from repro.pipeline.store import CheckpointStore, atomic_write_text
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -103,6 +119,25 @@ def _build_parser() -> argparse.ArgumentParser:
                               "revision-journal dependencies are unchanged "
                               "since their last sample (byte-identical "
                               "exports to a full sweep)")
+        cmd.add_argument("--worker-faults", nargs="?", const=0.05, type=float,
+                         default=None, metavar="RATE",
+                         help="inject worker crash faults at RATE per shard "
+                              "span (and hangs at RATE/2); the supervisor "
+                              "recovers them (default 0.05 when given bare)")
+        cmd.add_argument("--shard-deadline", type=float, default=None,
+                         metavar="S",
+                         help="wall-clock budget per sweep worker before "
+                              "the supervisor reaps it (default: auto)")
+        cmd.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="durably checkpoint the engine into DIR "
+                              "(atomic, checksummed, keep-last-3)")
+        cmd.add_argument("--checkpoint-every", type=int, default=4,
+                         metavar="N",
+                         help="weeks between checkpoints (default 4)")
+        cmd.add_argument("--resume", action="store_true",
+                         help="resume from the newest intact checkpoint in "
+                              "--checkpoint-dir (torn/corrupt files are "
+                              "skipped)")
         cmd.add_argument("--metrics", action="store_true",
                          help="collect and print the deterministic "
                               "metrics registry after the run")
@@ -133,6 +168,17 @@ def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
         config.faults = FaultConfig.chaos(
             level=args.faults, seed=getattr(args, "fault_seed", None)
         )
+    worker_faults = getattr(args, "worker_faults", None)
+    if worker_faults is not None:
+        # Composes with --faults: worker faults ride the same FaultConfig
+        # (and the same independent --fault-seed) as the data-plane storm.
+        config.faults.enabled = True
+        if config.faults.fault_seed is None:
+            config.faults.fault_seed = getattr(args, "fault_seed", None)
+        config.faults.worker_crash_rate = worker_faults
+        config.faults.worker_hang_rate = worker_faults / 2
+    if getattr(args, "shard_deadline", None) is not None:
+        config.shard_deadline = args.shard_deadline
     if getattr(args, "retries", None) is not None:
         config.monitor.retry = RetryPolicy.standard(max(1, args.retries))
     config.workers = max(1, getattr(args, "workers", 1) or 1)
@@ -247,13 +293,33 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         registry = MetricsRegistry()
         tracer = Tracer(path=args.trace, sample_every=max(1, args.trace_sample))
         OBS.configure(metrics=registry, tracer=tracer)
+    store: Optional[CheckpointStore] = None
+    if args.checkpoint_dir:
+        store = CheckpointStore(args.checkpoint_dir)
+    elif args.resume:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     try:
-        result = run_scenario(config)
+        result = run_scenario(
+            config,
+            checkpoint_store=store,
+            checkpoint_every=max(1, args.checkpoint_every),
+            resume=args.resume,
+        )
+        if store is not None and args.resume and store.last_recovery is not None:
+            recovery = store.last_recovery
+            for name, reason in recovery.skipped:
+                print(f"skipped corrupt checkpoint {name}: {reason}", file=out)
+            if recovery.loaded is not None:
+                print(f"resumed from checkpoint {recovery.loaded}", file=out)
+            else:
+                print("no intact checkpoint found; ran from scratch", file=out)
         if args.command == "run":
             _print_summary(result, out)
             if args.export:
-                with open(args.export, "w", encoding="utf-8") as handle:
-                    handle.write(dataset_to_json(result.dataset, indent=2))
+                # Atomic: a crash mid-export must never leave a torn
+                # dataset where a previous good one stood.
+                atomic_write_text(args.export, dataset_to_json(result.dataset, indent=2))
                 print(f"\ndataset exported to {args.export}", file=out)
         elif args.command == "report":
             _print_report(result, out)

@@ -44,8 +44,10 @@ from repro.core.stages import (
 from repro.faults.plan import FaultConfig, FaultPlan
 from repro.faults.retry import CircuitBreaker, RetryPolicy
 from repro.parallel.executor import ProcessExecutor, SerialExecutor, SweepExecutor
+from repro.parallel.supervisor import SupervisorConfig
 from repro.pipeline.context import QuarantineRecord
 from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.store import CheckpointStore
 from repro.pipeline.metrics import PipelineMetrics
 from repro.sim.clock import DEFAULT_START, SimClock
 from repro.sim.rng import RngStreams
@@ -100,6 +102,14 @@ class ScenarioConfig:
     #: them.  Exported digests stay byte-identical to a full sweep's
     #: for any seed and worker count.
     incremental: bool = False
+    #: Supervisor wall-clock budget per shard worker, in seconds.
+    #: ``None`` auto-selects: a deadline is only needed when hang
+    #: faults are injected (workers cannot hang on their own in the
+    #: simulation), in which case a short one is chosen.
+    shard_deadline: Optional[float] = None
+    #: Supervisor re-dispatches of a failed shard span before it is
+    #: bisected toward quarantine.
+    shard_retries: int = 2
 
     @classmethod
     def tiny(cls, seed: int = 42) -> "ScenarioConfig":
@@ -194,7 +204,12 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
             else streams.fork("faults")
         )
         fault_plan = FaultPlan(config.faults, fault_streams)
-        breaker = CircuitBreaker(failure_threshold=config.breaker_threshold)
+        # The breaker guards the *data plane*; worker-only fault runs
+        # (crash/hang/poison) leave it out so the fused sampling path
+        # stays eligible and a recovered sweep's exports are
+        # byte-identical to a fault-free run's.
+        if config.faults.any_active:
+            breaker = CircuitBreaker(failure_threshold=config.breaker_threshold)
     # The world is built on a healthy Internet — chaos begins only once
     # the weekly pipeline starts ticking.  This keeps the bootstrap
     # (population, initial collector ingest) identical between chaos
@@ -245,10 +260,25 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
         incremental=config.incremental,
     )
     # Incremental sweeps ride the sharded executor's fused path even at
-    # one worker (a single inline shard is byte-identical to serial).
+    # one worker (a single inline shard is byte-identical to serial);
+    # worker-fault runs need it too — only the supervised executor can
+    # retry, bisect and quarantine dying workers.
+    shard_deadline = config.shard_deadline
+    if shard_deadline is None and config.faults.worker_hang_rate > 0:
+        # Hung workers exist only by injection here, and an injected
+        # hang never recovers — a short deadline reaps it quickly
+        # without ever clipping a healthy worker (the simulation does
+        # no real I/O, so honest shards finish in milliseconds).
+        shard_deadline = 5.0
     executor: SweepExecutor = (
-        ProcessExecutor(workers=config.workers)
-        if config.workers > 1 or config.incremental
+        ProcessExecutor(
+            workers=config.workers,
+            supervisor=SupervisorConfig(
+                shard_deadline=shard_deadline,
+                max_shard_retries=config.shard_retries,
+            ),
+        )
+        if config.workers > 1 or config.incremental or config.faults.worker_active
         else SerialExecutor()
     )
     detector = AbuseDetector(monitor.store, config.detector, whois=internet.whois)
@@ -292,10 +322,39 @@ def build_scenario(config: Optional[ScenarioConfig] = None) -> PipelineEngine:
     )
 
 
-def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
-    """Run one full world from construction to the final week."""
-    pipeline = build_scenario(config)
-    pipeline.run()
+def run_scenario(
+    config: Optional[ScenarioConfig] = None,
+    checkpoint_store: Optional[CheckpointStore] = None,
+    checkpoint_every: int = 4,
+    resume: bool = False,
+) -> ScenarioResult:
+    """Run one full world from construction to the final week.
+
+    With a ``checkpoint_store`` the engine durably snapshots itself
+    every ``checkpoint_every`` weeks; ``resume=True`` restores the
+    newest *intact* checkpoint from the store (torn or corrupt files
+    are skipped — see :attr:`CheckpointStore.last_recovery`) and runs
+    the remaining weeks, falling back to a fresh build when the store
+    holds nothing usable.  A resumed run finishes with the same final
+    state the uninterrupted run would have had: the checkpoint carries
+    the entire engine, world and RNG streams.
+    """
+    pipeline: Optional[PipelineEngine] = None
+    if resume:
+        if checkpoint_store is None:
+            raise ValueError("resume=True requires a checkpoint_store")
+        checkpoint = checkpoint_store.load_latest()
+        if checkpoint is not None:
+            pipeline = PipelineEngine.restore(checkpoint)
+    if pipeline is None:
+        pipeline = build_scenario(config)
+    if checkpoint_store is not None:
+        pipeline.run(
+            checkpoint_every=checkpoint_every,
+            on_checkpoint=checkpoint_store.save,
+        )
+    else:
+        pipeline.run()
     result: ScenarioResult = pipeline.payload
     result.weeks_run = pipeline.week_index
     result.metrics = pipeline.metrics

@@ -152,6 +152,10 @@ class MonitorSweepStage(Stage):
         report = self._executor.sweep(self._monitor, fqdns, ctx.at)
         for fqdn, status in report.failures:
             ctx.quarantine_item(fqdn, f"retries exhausted ({status})")
+        for fqdn, reason in report.quarantined:
+            # Poison isolated by the supervisor's bisection: the name's
+            # worker died on every attempt, so it produced no sample.
+            ctx.quarantine_item(fqdn, f"poison shard: {reason}")
         ctx.put(CHANGED_PAIRS, report.changed)
         return len(fqdns)
 

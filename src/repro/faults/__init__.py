@@ -17,6 +17,8 @@ from repro.faults.plan import (
     HTTP_503,
     ICMP_BLACKOUT,
     TRUNCATED_BODY,
+    WORKER_CRASH,
+    WORKER_HANG,
     FaultConfig,
     FaultPlan,
     FaultStats,
@@ -45,4 +47,6 @@ __all__ = [
     "OPEN",
     "RetryPolicy",
     "TRUNCATED_BODY",
+    "WORKER_CRASH",
+    "WORKER_HANG",
 ]

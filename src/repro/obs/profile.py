@@ -112,6 +112,12 @@ def _sweep_table(result, metrics) -> str:
         ("full fused samples", counters.get("sweep.sample.full", 0)),
         ("generic samples", counters.get("sweep.sample.generic", 0)),
         ("detector signature matches", counters.get("detector.signature_matches", 0)),
+        ("supervisor worker crashes", counters.get("supervisor.worker_crashes", 0)),
+        ("supervisor worker hangs", counters.get("supervisor.worker_hangs", 0)),
+        ("supervisor shard retries", counters.get("supervisor.shard_retries", 0)),
+        ("supervisor poison quarantined", counters.get("supervisor.poison_quarantined", 0)),
+        ("checkpoint writes", counters.get("checkpoint.writes", 0)),
+        ("checkpoint corrupt skipped", counters.get("checkpoint.corrupt_skipped", 0)),
     ]
     executor = getattr(result, "executor", None)
     report = getattr(executor, "last_report", None)

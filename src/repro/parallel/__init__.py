@@ -14,13 +14,25 @@ from repro.parallel.executor import (
     SweepReport,
 )
 from repro.parallel.shard import ShardResult, fast_path_eligible, partition
+from repro.parallel.supervisor import (
+    DeadLetter,
+    SupervisedSweep,
+    SupervisorConfig,
+    WorkerFailure,
+    run_shards_supervised,
+)
 
 __all__ = [
+    "DeadLetter",
     "ProcessExecutor",
     "SerialExecutor",
+    "SupervisedSweep",
+    "SupervisorConfig",
     "SweepExecutor",
     "SweepReport",
     "ShardResult",
+    "WorkerFailure",
     "fast_path_eligible",
     "partition",
+    "run_shards_supervised",
 ]

@@ -37,6 +37,11 @@ from repro.parallel.shard import (
     run_shard,
     run_shards_forked,
 )
+from repro.parallel.supervisor import (
+    DeadLetter,
+    SupervisorConfig,
+    run_shards_supervised,
+)
 
 ChangedPair = Tuple[SnapshotFeatures, Optional[SnapshotFeatures]]
 
@@ -75,6 +80,14 @@ class SweepReport:
     injected: Dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Names the supervisor's poison bisection quarantined this sweep,
+    #: as (fqdn, reason) pairs in shard order.  Distinct from
+    #: ``failures`` (retry-exhausted *samples*): a quarantined name
+    #: never produced a sample at all — its worker died every attempt.
+    quarantined: List[Tuple[Name, str]] = field(default_factory=list)
+    worker_crashes: int = 0
+    worker_hangs: int = 0
+    shard_retries: int = 0
     workers: int = 1
     mode: str = "serial"
     shard_sizes: List[int] = field(default_factory=list)
@@ -105,6 +118,10 @@ class SweepReport:
             injected=merged_injected,
             cache_hits=self.cache_hits + other.cache_hits,
             cache_misses=self.cache_misses + other.cache_misses,
+            quarantined=self.quarantined + other.quarantined,
+            worker_crashes=self.worker_crashes + other.worker_crashes,
+            worker_hangs=self.worker_hangs + other.worker_hangs,
+            shard_retries=self.shard_retries + other.shard_retries,
             workers=max(self.workers, other.workers),
             mode=self.mode if self.mode == other.mode else "mixed",
             shard_sizes=self.shard_sizes + other.shard_sizes,
@@ -204,6 +221,8 @@ class ProcessExecutor(SweepExecutor):
         workers: int = 2,
         extraction_cache: Optional[ExtractionCache] = None,
         use_fork: Optional[bool] = None,
+        supervisor: Optional[SupervisorConfig] = None,
+        supervised: bool = True,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -212,6 +231,11 @@ class ProcessExecutor(SweepExecutor):
             extraction_cache if extraction_cache is not None else ExtractionCache()
         )
         self.use_fork = use_fork
+        #: Failure-handling knobs; every sweep runs under the
+        #: supervisor unless ``supervised=False`` opts into the bare
+        #: fail-fast fork protocol (kept as a comparison baseline).
+        self.supervisor = supervisor if supervisor is not None else SupervisorConfig()
+        self.supervised = supervised
         #: "fork" or "inline" — how the most recent sweep actually ran.
         self.last_mode: Optional[str] = None
 
@@ -224,7 +248,15 @@ class ProcessExecutor(SweepExecutor):
         )
         forked = len(shards) > 1 and want_fork and fork_available()
         started = time.perf_counter()
-        if forked:
+        quarantined: List[DeadLetter] = []
+        if self.supervised:
+            outcome = run_shards_supervised(
+                monitor, shards, at, self.extraction_cache,
+                config=self.supervisor, forked=forked,
+            )
+            results = outcome.results
+            quarantined = outcome.quarantined
+        elif forked:
             results = run_shards_forked(monitor, shards, at, self.extraction_cache)
         else:
             results = [
@@ -232,9 +264,13 @@ class ProcessExecutor(SweepExecutor):
                 for index, shard in enumerate(shards)
             ]
         self.last_mode = "fork" if forked else "inline"
-        report = self._apply(monitor, results, forked, at)
+        report = self._apply(monitor, results, forked, at, quarantined)
         report.workers = self.workers
         report.mode = self.last_mode
+        if self.supervised:
+            report.worker_crashes = outcome.worker_crashes
+            report.worker_hangs = outcome.worker_hangs
+            report.shard_retries = outcome.shard_retries
         report.wall_seconds = time.perf_counter() - started
         self.last_report = report
         return report
@@ -245,6 +281,7 @@ class ProcessExecutor(SweepExecutor):
         results: List[ShardResult],
         forked: bool,
         at: datetime,
+        quarantined: Optional[List[DeadLetter]] = None,
     ) -> SweepReport:
         """Replay shard results into the parent, in shard order."""
         client = monitor.client
@@ -318,6 +355,13 @@ class ProcessExecutor(SweepExecutor):
             report.shard_sizes.append(result.size)
             report.shard_walls.append(result.wall_seconds)
             report.cpu_seconds += result.wall_seconds
+        for letter in quarantined or ():
+            report.quarantined.append((letter.fqdn, letter.reason))
+            if ledger is not None:
+                # A quarantined name produced no sample this sweep; any
+                # stale cleanliness proof must not carry it past the
+                # next one either.
+                ledger.invalidate(letter.fqdn)
         if ledger is not None:
             # The world is quiescent during a sweep, so the journal's
             # position now equals its position when the shards computed

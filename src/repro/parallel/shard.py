@@ -587,6 +587,45 @@ def _read_exact(fd: int, length: int) -> bytes:
     return b"".join(chunks)
 
 
+def shard_bounds(shards: Sequence[Sequence[Name]]) -> List[Tuple[int, int]]:
+    """Each shard's ``[start, end)`` slice of the full monitored list.
+
+    Shards are contiguous (:func:`partition`), so the bounds are just
+    running offsets — the identity operators need to act on a worker
+    error ("which FQDN range died?") without replaying the partition.
+    """
+    bounds: List[Tuple[int, int]] = []
+    offset = 0
+    for shard in shards:
+        bounds.append((offset, offset + len(shard)))
+        offset += len(shard)
+    return bounds
+
+
+def shard_ident(index: int, bounds: Tuple[int, int]) -> str:
+    """Human-actionable shard identity for worker error messages."""
+    start, end = bounds
+    return f"shard {index} (names[{start}:{end}], {end - start} FQDNs)"
+
+
+def fork_with_pipe() -> Tuple[int, int, int]:
+    """Fork with a result pipe, leaking nothing on failure.
+
+    Returns ``(pid, read_fd, write_fd)``.  If ``os.fork`` raises —
+    EAGAIN under pid pressure, ENOMEM — both pipe ends are closed
+    before the exception propagates, so a failed spawn can't bleed
+    file descriptors across a long campaign.
+    """
+    read_fd, write_fd = os.pipe()
+    try:
+        pid = os.fork()
+    except BaseException:
+        os.close(read_fd)
+        os.close(write_fd)
+        raise
+    return pid, read_fd, write_fd
+
+
 def run_shards_forked(
     monitor: WeeklyMonitor,
     shards: List[List[Name]],
@@ -600,11 +639,16 @@ def run_shards_forked(
     ``os._exit`` so no parent state (buffers, atexit hooks) replays.
     The parent drains pipes in shard order and reaps every child before
     surfacing any worker error.
+
+    This is the *unsupervised* protocol: any worker failure aborts the
+    sweep.  :func:`repro.parallel.supervisor.run_shards_supervised`
+    wraps the same child protocol with deadlines, re-dispatch and
+    poison bisection.
     """
+    bounds = shard_bounds(shards)
     children: List[Tuple[int, int]] = []
     for index, shard in enumerate(shards):
-        read_fd, write_fd = os.pipe()
-        pid = os.fork()
+        pid, read_fd, write_fd = fork_with_pipe()
         if pid == 0:
             os.close(read_fd)
             exit_code = 0
@@ -616,7 +660,11 @@ def run_shards_forked(
                     )
                 except BaseException:
                     payload = pickle.dumps(
-                        ("err", f"shard {index}:\n{traceback.format_exc()}"),
+                        (
+                            "err",
+                            f"{shard_ident(index, bounds[index])}:\n"
+                            f"{traceback.format_exc()}",
+                        ),
                         protocol=pickle.HIGHEST_PROTOCOL,
                     )
                 _write_all(write_fd, struct.pack("<Q", len(payload)) + payload)
@@ -629,14 +677,16 @@ def run_shards_forked(
 
     results: List[ShardResult] = []
     errors: List[str] = []
-    for pid, read_fd in children:
+    for index, (pid, read_fd) in enumerate(children):
         payload = None
         try:
             header = _read_exact(read_fd, 8)
             (length,) = struct.unpack("<Q", header)
             payload = _read_exact(read_fd, length)
         except Exception as error:
-            errors.append(f"worker pid {pid}: {error}")
+            errors.append(
+                f"{shard_ident(index, bounds[index])} worker pid {pid}: {error}"
+            )
         finally:
             os.close(read_fd)
             os.waitpid(pid, 0)

@@ -23,16 +23,28 @@ from repro.pipeline.engine import (
 )
 from repro.pipeline.metrics import PipelineMetrics, StageMetrics
 from repro.pipeline.stage import FunctionStage, Stage
+from repro.pipeline.store import (
+    CheckpointCorruptError,
+    CheckpointStore,
+    RecoveryReport,
+    atomic_write_bytes,
+    atomic_write_text,
+)
 
 __all__ = [
     "Checkpoint",
+    "CheckpointCorruptError",
+    "CheckpointStore",
     "FunctionStage",
     "MissingOutputError",
     "PipelineEngine",
     "PipelineMetrics",
     "QuarantineRecord",
+    "RecoveryReport",
     "Stage",
     "StageGraphError",
     "StageMetrics",
     "WeekContext",
+    "atomic_write_bytes",
+    "atomic_write_text",
 ]

@@ -115,3 +115,63 @@ def test_attacker_controlled_title_cannot_break_signatures(internet):
     )
     assert signature.match(features) is not None
     assert all(isinstance(t, str) for t in page_tokens(features))
+
+
+# -- worker-process robustness (fork plumbing) ------------------------------
+
+
+def test_fork_failure_leaks_no_file_descriptors(monkeypatch):
+    """Regression: a failing ``os.fork`` used to leak both pipe fds."""
+    import os
+    import pytest
+    from repro.parallel.shard import fork_with_pipe
+
+    def count_fds():
+        return len(os.listdir("/proc/self/fd"))
+
+    def no_fork():
+        raise OSError("EAGAIN: simulated pid exhaustion")
+
+    monkeypatch.setattr(os, "fork", no_fork)
+    before = count_fds()
+    for _ in range(5):
+        with pytest.raises(OSError, match="EAGAIN"):
+            fork_with_pipe()
+    monkeypatch.undo()
+    assert count_fds() == before
+
+
+def test_worker_errors_carry_shard_identity(internet):
+    """A dying worker's error names its shard index and slice bounds."""
+    import pytest
+    from repro.core.monitoring import WeeklyMonitor as Monitor
+    from repro.parallel.shard import partition, run_shards_forked, shard_ident
+
+    assert shard_ident(2, (10, 15)) == "shard 2 (names[10:15], 5 FQDNs)"
+
+    monitor = Monitor(internet.client)
+    # A non-string FQDN explodes inside the worker's sampling loop; the
+    # surfaced error must say which shard (and which slice) died.
+    fqdns = ["ok0.acme.com", "ok1.acme.com", None, "ok2.acme.com"]
+    shards = partition(fqdns, 2)
+    with pytest.raises(RuntimeError) as excinfo:
+        run_shards_forked(monitor, shards, T0, None)
+    assert "shard 1 (names[2:4], 2 FQDNs)" in str(excinfo.value)
+
+
+def test_supervised_sweep_quarantines_unsampleable_name(internet):
+    """The supervisor turns a poison input into a dead letter, not a crash."""
+    from repro.core.monitoring import WeeklyMonitor as Monitor
+    from repro.parallel import SupervisorConfig, run_shards_supervised
+    from repro.parallel.shard import partition
+
+    monitor = Monitor(internet.client)
+    fqdns = ["ok0.acme.com", "ok1.acme.com", None, "ok2.acme.com"]
+    shards = partition(fqdns, 2)
+    outcome = run_shards_supervised(
+        monitor, shards, T0, None, SupervisorConfig(), forked=True
+    )
+    assert [d.fqdn for d in outcome.quarantined] == [None]
+    assert outcome.quarantined[0].shard_index == 1
+    sampled = sum(len(r.sampled) + len(r.failures) for r in outcome.results)
+    assert sampled == len(fqdns) - 1
