@@ -46,6 +46,12 @@ pass and extends unchanged names' observation windows from its touch
 ledger instead of re-sampling them.  Exports stay byte-identical to a
 full sweep's for any seed and worker count.
 
+``--linear-detector`` turns the detector's inverted signature/posting
+indexes off and matches with the paper-faithful linear scans; exports
+are byte-identical either way (the indexes only skip signatures and
+FQDNs that provably cannot match), so the flag exists as the
+benchmark/parity baseline.
+
 ``--worker-faults [RATE]`` injects deterministic *process* faults into
 the sweep workers — SIGKILL'd children at RATE per shard span, hung
 children at RATE/2 — which the self-healing supervisor survives by
@@ -119,6 +125,11 @@ def _build_parser() -> argparse.ArgumentParser:
                               "revision-journal dependencies are unchanged "
                               "since their last sample (byte-identical "
                               "exports to a full sweep)")
+        cmd.add_argument("--linear-detector", action="store_true",
+                         help="disable the detector's signature/posting "
+                              "indexes and match with the paper-faithful "
+                              "linear scans (byte-identical exports; the "
+                              "benchmark baseline)")
         cmd.add_argument("--worker-faults", nargs="?", const=0.05, type=float,
                          default=None, metavar="RATE",
                          help="inject worker crash faults at RATE per shard "
@@ -183,6 +194,7 @@ def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
         config.monitor.retry = RetryPolicy.standard(max(1, args.retries))
     config.workers = max(1, getattr(args, "workers", 1) or 1)
     config.incremental = bool(getattr(args, "incremental", False))
+    config.detector.use_index = not getattr(args, "linear_detector", False)
     return config
 
 

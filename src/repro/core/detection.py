@@ -21,6 +21,7 @@ from repro.content.vocab import Topic
 from repro.core.changes import ChangeEvent
 from repro.core.keywords import abuse_vocabulary_hits, classify_topic, tokenize
 from repro.core.monitoring import SnapshotFeatures, SnapshotStore
+from repro.core.sigindex import SignatureIndex, external_hosts
 from repro.core.signatures import (
     BenignCorpus,
     ExtractorConfig,
@@ -44,6 +45,11 @@ class DetectorConfig:
     benign_corpus_cap: int = 4000
     #: Sitemap entry count that alone makes a page suspicious.
     bulk_sitemap_count: int = 300
+    #: Use the inverted signature/posting indexes for matching and
+    #: retrospective rescans.  The indexed path is byte-identical to
+    #: the linear scan (same matches, same order, same exports); the
+    #: flag exists for the parity tests and the benchmark baseline.
+    use_index: bool = True
     extractor: ExtractorConfig = field(default_factory=ExtractorConfig)
 
 
@@ -204,8 +210,17 @@ class AbuseDetector:
         self.benign = BenignCorpus()
         self.extractor = SignatureExtractor(self.benign, self.config.extractor, whois=whois)
         self.signatures: List[Signature] = []
+        #: Inverted candidate index over ``signatures``; kept in sync
+        #: lazily (see :meth:`_match_existing`) so code that appends to
+        #: the public list directly stays correct.
+        self.sig_index = SignatureIndex()
         self.dataset = AbuseDataset()
-        self._backlog: List[Tuple[datetime, SnapshotFeatures]] = []
+        #: Unmatched-but-suspicious sightings awaiting clustering,
+        #: keyed by (fqdn, state_key) so the same observable state
+        #: re-queued across weeks is held once — the value keeps the
+        #: newest sighting time (which is what the pruning horizon
+        #: should measure) and its features.
+        self._backlog: Dict[Tuple[Name, Tuple], Tuple[datetime, SnapshotFeatures]] = {}
 
     # -- weekly entry point ----------------------------------------------------------
 
@@ -230,12 +245,18 @@ class AbuseDetector:
                 unmatched_suspicious.append(features)
 
         self._prune_backlog(at)
-        self._backlog.extend((at, f) for f in unmatched_suspicious)
+        for features in unmatched_suspicious:
+            # Re-sighting an already queued state refreshes its clock
+            # (newest sighting wins) without duplicating it — the same
+            # FQDN re-queued every week must not pile identical entries
+            # into extraction and double-count in cluster support.
+            self._backlog[(features.fqdn, features.state_key())] = (at, features)
         new_signatures = self.extractor.extract(
-            [f for _, f in self._backlog], at
+            [f for _, f in self._backlog.values()], at
         )
         for signature in new_signatures:
             self.signatures.append(signature)
+            self.sig_index.sync(self.signatures)
             newly_flagged.extend(self._rescan_history(signature))
         if new_signatures:
             self._drop_matched_backlog()
@@ -252,11 +273,46 @@ class AbuseDetector:
     def _match_existing(
         self, features: SnapshotFeatures
     ) -> List[Tuple[Signature, FrozenSet[str]]]:
+        """All signatures matching ``features``, in extraction order.
+
+        The default path asks the :class:`SignatureIndex` which
+        signatures share at least one required component token with the
+        page and verifies only those; with ``use_index`` off it is the
+        paper-faithful linear scan.  Both return the same list.
+        """
+        if not self.config.use_index:
+            matches = []
+            for signature in self.signatures:
+                components = signature.match(features)
+                if components is not None:
+                    matches.append((signature, components))
+            return matches
+        if not self.signatures:
+            return []
+        if len(self.sig_index) != len(self.signatures):
+            self.sig_index.sync(self.signatures)
+        if not features.reachable:
+            # No signature can match an unreachable state; skip even
+            # the candidate lookup (Signature.match would refuse each).
+            return []
+        tokens = page_tokens(features)
+        hosts = external_hosts(features)
+        markers = facade_markers(features)
+        candidate_ids = self.sig_index.candidates(tokens, hosts, markers)
         matches = []
-        for signature in self.signatures:
-            components = signature.match(features)
+        for sig_id in candidate_ids:
+            signature = self.signatures[sig_id]
+            components = signature.match(
+                features, tokens=tokens, hosts=hosts, markers=markers
+            )
             if components is not None:
                 matches.append((signature, components))
+        if OBS.enabled:
+            OBS.metrics.inc("detector.index.lookups")
+            OBS.metrics.inc("detector.index.candidates", len(candidate_ids))
+            OBS.metrics.inc(
+                "detector.index.pruned", len(self.signatures) - len(candidate_ids)
+            )
         return matches
 
     def _record_match(
@@ -279,7 +335,10 @@ class AbuseDetector:
         for signature, components in matches:
             record.signature_ids.add(signature.signature_id)
             record.indicator_combinations.add(components)
-        record.keywords |= set(list(features.keywords)[:40])
+        # Truncate in sorted order: ``list(frozenset)[:40]`` keeps an
+        # arbitrary hash-ordered subset, which varies per PYTHONHASHSEED
+        # and leaks into the keyword/topic exports.
+        record.keywords |= set(sorted(features.keywords)[:40])
         topic = classify_topic(page_tokens(features))
         if topic is None and features.sitemap_sample:
             # Facade indexes hide the real content; the generated page
@@ -347,9 +406,29 @@ class AbuseDetector:
         owner fixed the record), the reconstructed episode is closed at
         that state's first sighting — retrospective detection must not
         resurrect remediated hijacks as ongoing.
+
+        With ``use_index`` on, the store's posting index narrows the
+        walk to FQDNs whose history contains at least one of the
+        signature's anchor tokens; everything else cannot match and is
+        skipped without changing any output (``None`` from the index
+        means "cannot prune" and falls back to the full walk).
         """
         flagged: List[Name] = []
-        for fqdn in self.store.fqdns():
+        fqdns = self.store.fqdns()
+        if self.config.use_index:
+            total = len(fqdns)
+            candidates = self.store.rescan_candidates(signature)
+            if candidates is None:
+                if OBS.enabled:
+                    OBS.metrics.inc("rescan.fallbacks")
+            else:
+                fqdns = [fqdn for fqdn in fqdns if fqdn in candidates]
+                if OBS.enabled:
+                    OBS.metrics.inc("rescan.skipped", total - len(fqdns))
+            if OBS.enabled:
+                OBS.metrics.inc("rescan.signatures")
+                OBS.metrics.inc("rescan.visited", len(fqdns))
+        for fqdn in fqdns:
             history = self.store.history(fqdn)
             matches = [signature.match(state.features) for state in history]
             if not any(components is not None for components in matches):
@@ -373,17 +452,30 @@ class AbuseDetector:
                 and last_hit < len(history) - 1
             ):
                 successor = history[last_hit + 1]
-                if not self._match_existing(successor.features):
-                    record.episodes[-1].ended_at = successor.first_seen
+                episode = record.episodes[-1]
+                # Close only when the successor postdates the episode's
+                # last live match: the open episode may belong to a
+                # *different* signature that matched later states, and
+                # back-dating ``ended_at`` below ``last_matched`` would
+                # fabricate negative durations (Figures 15/16).
+                if (
+                    successor.first_seen >= episode.last_matched
+                    and not self._match_existing(successor.features)
+                ):
+                    episode.ended_at = successor.first_seen
         return flagged
 
     # -- backlog ----------------------------------------------------------------------------------
 
     def _prune_backlog(self, at: datetime) -> None:
         horizon = at - self.config.backlog_window
-        self._backlog = [(t, f) for t, f in self._backlog if t >= horizon]
+        self._backlog = {
+            key: (t, f) for key, (t, f) in self._backlog.items() if t >= horizon
+        }
 
     def _drop_matched_backlog(self) -> None:
-        self._backlog = [
-            (t, f) for t, f in self._backlog if not self._match_existing(f)
-        ]
+        self._backlog = {
+            key: (t, f)
+            for key, (t, f) in self._backlog.items()
+            if not self._match_existing(f)
+        }

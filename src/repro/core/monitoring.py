@@ -20,6 +20,12 @@ from datetime import datetime
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.keywords import extract_keywords
+from repro.core.sigindex import (
+    DEFAULT_POSTING_CAP,
+    PostingIndex,
+    signature_anchor,
+    state_tokens,
+)
 from repro.dns.names import Name
 from repro.faults.retry import RetryPolicy
 from repro.obs import OBS
@@ -137,10 +143,21 @@ class StoredState:
 
 
 class SnapshotStore:
-    """Per-FQDN history of deduplicated states."""
+    """Per-FQDN history of deduplicated states.
 
-    def __init__(self) -> None:
+    Alongside the histories the store keeps a :class:`PostingIndex` —
+    token → FQDN postings over every token any stored state ever
+    carried — plus per-FQDN sitemap maxima, both maintained
+    incrementally on state writes.  They answer one question for the
+    detector's retrospective rescans: *which FQDNs could a new
+    signature possibly match?* (see :meth:`rescan_candidates`).
+    """
+
+    def __init__(self, posting_cap: int = DEFAULT_POSTING_CAP) -> None:
         self._history: Dict[Name, List[StoredState]] = {}
+        self.postings = PostingIndex(cap=posting_cap)
+        #: fqdn -> (max sitemap_count, max sitemap_size) over history.
+        self._sitemap_maxima: Dict[Name, Tuple[int, int]] = {}
 
     def record(self, features: SnapshotFeatures) -> Tuple[bool, Optional[SnapshotFeatures]]:
         """Store a sample; returns ``(is_new_state, previous_features)``.
@@ -158,7 +175,38 @@ class SnapshotStore:
         history.append(
             StoredState(features=features, first_seen=features.at, last_seen=features.at)
         )
+        self.postings.add(features.fqdn, state_tokens(features))
+        max_count, max_size = self._sitemap_maxima.get(features.fqdn, (-1, -1))
+        self._sitemap_maxima[features.fqdn] = (
+            max(max_count, features.sitemap_count),
+            max(max_size, features.sitemap_size),
+        )
         return True, previous
+
+    def rescan_candidates(self, signature) -> Optional[frozenset]:
+        """FQDNs whose history could contain a match for ``signature``.
+
+        Sound over-approximation: a signature requires every component
+        group it carries, so an FQDN none of whose states ever held an
+        anchor token cannot match and is safely skipped.  ``None``
+        means the index cannot prune (no token anchor and no sitemap
+        threshold, or an anchor token's postings were evicted) and the
+        caller must scan everything.
+        """
+        kind, anchor = signature_anchor(signature)
+        if kind == "sitemap":
+            return frozenset(
+                fqdn
+                for fqdn, (max_count, max_size) in self._sitemap_maxima.items()
+                if (not signature.sitemap_min_count
+                    or max_count >= signature.sitemap_min_count)
+                and (not signature.sitemap_min_bytes
+                     or max_size >= signature.sitemap_min_bytes)
+            )
+        if kind == "scan":
+            return None
+        candidates = self.postings.candidate_fqdns(anchor)
+        return frozenset(candidates) if candidates is not None else None
 
     def touch(self, fqdn: Name, at: datetime) -> None:
         """Re-observe ``fqdn``'s current state at ``at`` without a sample.

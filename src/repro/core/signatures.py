@@ -26,46 +26,19 @@ from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.keywords import abuse_vocabulary_hits, tokenize
+from repro.core.keywords import abuse_vocabulary_hits
 from repro.core.monitoring import SnapshotFeatures
 
-#: Facade phrases (lower-cased) that fingerprint hijack placeholder pages.
-MAINTENANCE_MARKERS: Tuple[str, ...] = (
-    "comming soon",
-    "undergoing scheduled maintenance",
-    "planmäßig gewartet",
-    "メンテナンス中",
-    "restore all services",
-    "automatically generated by the system",
+# The token-extraction helpers live in ``repro.core.sigindex`` (below
+# the snapshot store in the import graph, so the store's posting index
+# can share them); re-exported here because this module is their
+# historical home and most call sites import them from it.
+from repro.core.sigindex import (  # noqa: F401  (re-exports)
+    MAINTENANCE_MARKERS,
+    external_hosts,
+    facade_markers,
+    page_tokens,
 )
-
-
-def _host_of(url: str) -> str:
-    without_scheme = url.split("//", 1)[-1]
-    return without_scheme.split("/", 1)[0].split(":", 1)[0].lower()
-
-
-def page_tokens(features: SnapshotFeatures) -> FrozenSet[str]:
-    """The token set a signature's keyword component matches against."""
-    tokens: Set[str] = set()
-    for keyword in features.keywords:
-        tokens.update(keyword.split(" "))
-    for keyword in features.meta_keywords:
-        tokens.update(tokenize(keyword))
-    return frozenset(tokens)
-
-
-def external_hosts(features: SnapshotFeatures) -> FrozenSet[str]:
-    """External hosts referenced by the page (infrastructure indicators)."""
-    hosts = {_host_of(u) for u in features.external_urls}
-    hosts |= {_host_of(s) for s in features.script_srcs if "//" in s}
-    return frozenset(h for h in hosts if h and h != features.fqdn)
-
-
-def facade_markers(features: SnapshotFeatures) -> FrozenSet[str]:
-    """Maintenance-facade markers present in the page title/keywords."""
-    haystack = " ".join([features.title.lower()] + sorted(features.keywords))
-    return frozenset(m for m in MAINTENANCE_MARKERS if m in haystack)
 
 
 @dataclass(frozen=True)
@@ -95,23 +68,42 @@ class Signature:
             groups.append("template")
         return frozenset(groups)
 
-    def match(self, features: SnapshotFeatures) -> Optional[FrozenSet[str]]:
-        """Match the page; returns the component set on success."""
+    def match(
+        self,
+        features: SnapshotFeatures,
+        *,
+        tokens: Optional[FrozenSet[str]] = None,
+        hosts: Optional[FrozenSet[str]] = None,
+        markers: Optional[FrozenSet[str]] = None,
+    ) -> Optional[FrozenSet[str]]:
+        """Match the page; returns the component set on success.
+
+        ``tokens``/``hosts``/``markers`` let a caller testing many
+        signatures against one page pass the page's component sets in
+        precomputed, instead of re-deriving them per signature; omitted
+        ones are computed here, so the result is identical either way.
+        """
         if not features.reachable:
             return None
         if self.keywords:
-            hits = len(self.keywords & page_tokens(features))
+            if tokens is None:
+                tokens = page_tokens(features)
+            hits = len(self.keywords & tokens)
             if hits < min(self.min_keyword_hits, len(self.keywords)):
                 return None
         if self.infrastructure:
-            if not (self.infrastructure & external_hosts(features)):
+            if hosts is None:
+                hosts = external_hosts(features)
+            if not (self.infrastructure & hosts):
                 return None
         if self.sitemap_min_count and features.sitemap_count < self.sitemap_min_count:
             return None
         if self.sitemap_min_bytes and features.sitemap_size < self.sitemap_min_bytes:
             return None
         if self.template_markers:
-            if not (self.template_markers & facade_markers(features)):
+            if markers is None:
+                markers = facade_markers(features)
+            if not (self.template_markers & markers):
                 return None
         return self.components
 

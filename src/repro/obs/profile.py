@@ -22,6 +22,8 @@ CACHE_SERIES: Tuple[Tuple[str, str, str], ...] = (
     ("html extraction", "extraction.html.hits", "extraction.html.misses"),
     ("sitemap extraction", "extraction.sitemap.hits", "extraction.sitemap.misses"),
     ("touch ledger (clean skips)", "journal.clean_skips", "sweep.sample.full"),
+    ("detector sig-index (pruned)", "detector.index.pruned", "detector.index.candidates"),
+    ("rescan postings (skipped)", "rescan.skipped", "rescan.visited"),
 )
 
 #: How many spans / edges the tables keep.
@@ -112,6 +114,14 @@ def _sweep_table(result, metrics) -> str:
         ("full fused samples", counters.get("sweep.sample.full", 0)),
         ("generic samples", counters.get("sweep.sample.generic", 0)),
         ("detector signature matches", counters.get("detector.signature_matches", 0)),
+        ("detector index lookups", counters.get("detector.index.lookups", 0)),
+        ("detector index candidates tested", counters.get("detector.index.candidates", 0)),
+        ("detector index signatures pruned", counters.get("detector.index.pruned", 0)),
+        ("rescans (new signatures)", counters.get("rescan.signatures", 0)),
+        ("rescan FQDNs visited", counters.get("rescan.visited", 0)),
+        ("rescan FQDNs skipped", counters.get("rescan.skipped", 0)),
+        ("rescan full-scan fallbacks", counters.get("rescan.fallbacks", 0)),
+        ("store posting evictions", counters.get("store.postings.evictions", 0)),
         ("supervisor worker crashes", counters.get("supervisor.worker_crashes", 0)),
         ("supervisor worker hangs", counters.get("supervisor.worker_hangs", 0)),
         ("supervisor shard retries", counters.get("supervisor.shard_retries", 0)),

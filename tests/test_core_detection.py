@@ -5,6 +5,7 @@ from datetime import datetime, timedelta
 from repro.core.changes import detect_changes
 from repro.core.detection import AbuseDetector
 from repro.core.monitoring import SnapshotStore, SnapshotFeatures
+from repro.core.signatures import Signature
 
 T0 = datetime(2020, 3, 2)
 WEEK = timedelta(weeks=1)
@@ -119,6 +120,100 @@ def test_indicator_combinations_recorded():
     record = detector.dataset.get("a.foo.com")
     simplest = record.simplest_indicators()
     assert "keywords" in simplest or "sitemap" in simplest
+
+
+def test_rescan_close_never_backdates_before_live_matches():
+    """A retrospective rescan must not close an episode a *different*
+    signature is still matching: ``ended_at`` before ``last_matched``
+    fabricates negative durations in the Figure 15/16 analyses."""
+    store, detector = _detector()
+    s1 = _page("v.foo.com", T0, {"slot", "judi", "gacor"})
+    s2 = _page("v.foo.com", T0 + WEEK, {"products"})
+    s3 = _page("v.foo.com", T0 + 2 * WEEK, {"daftar", "pulsa", "bola"})
+    for state in (s1, s2, s3):
+        store.record(state)
+    sig_b = Signature("sig-b", created_at=T0 + 2 * WEEK,
+                      keywords=frozenset({"daftar", "pulsa", "bola"}))
+    detector.signatures.append(sig_b)
+    # Live matching kept the episode open through week 5.
+    components = sig_b.match(s3)
+    detector._record_match(s3, [(sig_b, components)], T0 + 2 * WEEK)
+    detector._record_match(s3, [(sig_b, components)], T0 + 5 * WEEK,
+                           observed_at=T0 + 5 * WEEK)
+    record = detector.dataset.get("v.foo.com")
+    assert record.episodes[-1].last_matched == T0 + 5 * WEEK
+    # A new signature only matches the *old* state s1; its successor s2
+    # (first seen week 1) predates the live matches and must not close
+    # the episode.
+    sig_a = Signature("sig-a", created_at=T0 + 5 * WEEK,
+                      keywords=frozenset({"slot", "judi", "gacor"}))
+    detector.signatures.append(sig_a)
+    detector._rescan_history(sig_a)
+    episode = record.episodes[-1]
+    assert episode.ended_at is None
+    assert episode.duration_days(now=T0 + 6 * WEEK) >= 0
+
+
+def test_rescan_closes_remediated_episode():
+    """The legitimate close still happens: when the successor postdates
+    every live match, the reconstructed episode ends at its sighting."""
+    store, detector = _detector()
+    s1 = _page("v.foo.com", T0, {"slot", "judi", "gacor"})
+    s2 = _page("v.foo.com", T0 + 3 * WEEK, {"products"})
+    store.record(s1)
+    store.record(s2)
+    sig = Signature("sig-a", created_at=T0 + 4 * WEEK,
+                    keywords=frozenset({"slot", "judi", "gacor"}))
+    detector.signatures.append(sig)
+    detector._rescan_history(sig)
+    record = detector.dataset.get("v.foo.com")
+    episode = record.episodes[-1]
+    assert episode.ended_at == T0 + 3 * WEEK
+    assert episode.ended_at >= episode.last_matched
+
+
+def test_backlog_dedupes_identical_resightings():
+    """The same (fqdn, state) re-queued across weeks is held once, with
+    the newest sighting time — not piled into duplicate entries that
+    double-count in cluster support."""
+    store, detector = _detector()
+    abuse = {"slot", "judi", "gacor", "unique_a"}
+    page = _page("a.foo.com", T0, abuse, sitemap_count=500)
+    store.record(page)
+    detector.process_week([detect_changes(None, page)], T0)
+    assert len(detector._backlog) == 1
+    # The same observable state re-queued a week later (the store
+    # dedups it into the existing state; the change stream replays it).
+    resight = _page("a.foo.com", T0 + WEEK, abuse, sitemap_count=500)
+    store.record(resight)
+    detector.process_week([detect_changes(None, resight)], T0 + WEEK)
+    assert len(detector._backlog) == 1
+    ((queued_at, _),) = detector._backlog.values()
+    assert queued_at == T0 + WEEK  # newest sighting wins
+    # A partner page now forms a 2-cluster; with the duplicate gone,
+    # tokens only the re-sighted page carried stay below support and
+    # out of the signature.
+    partner = _page("b.bar.com", T0 + 2 * WEEK,
+                    {"slot", "judi", "gacor", "bola"}, sitemap_count=700)
+    store.record(partner)
+    flagged = detector.process_week([detect_changes(None, partner)],
+                                    T0 + 2 * WEEK)
+    assert set(flagged) == {"a.foo.com", "b.bar.com"}
+    assert len(detector.signatures) == 1
+    assert "unique_a" not in detector.signatures[0].keywords
+
+
+def test_kept_keywords_truncate_in_sorted_order():
+    """The per-record keyword cap keeps the lexicographically first 40,
+    not a hash-ordered subset that varies across PYTHONHASHSEED."""
+    store, detector = _detector()
+    many = {f"kw{i:03d}" for i in range(60)} | {"slot", "judi", "gacor"}
+    page = _page("a.foo.com", T0, many)
+    sig = Signature("sig-x", created_at=T0,
+                    keywords=frozenset({"slot", "judi", "gacor"}))
+    detector._record_match(page, [(sig, sig.components)], T0)
+    record = detector.dataset.get("a.foo.com")
+    assert record.keywords == set(sorted(many)[:40])
 
 
 def test_monthly_cumulative_tracked():
