@@ -10,13 +10,19 @@
                                [--checkpoint-dir DIR] [--checkpoint-every N]
                                [--resume]
     python -m repro report     [--seed N] [--scale ...]
+                               [--analysis-workers N] [--report-json PATH]
     python -m repro audit      [--seed N] [--scale ...]
     python -m repro pipeline   [--seed N] [--scale ...]
     python -m repro profile    [--seed N] [--scale ...]
 
 ``run`` executes a scenario and prints the headline summary (optionally
 exporting the abuse dataset to JSON); ``report`` adds the per-analysis
-breakdowns; ``audit`` plays the defender and surveys the attack surface;
+breakdowns — computed by the :mod:`repro.analysis` task graph, on
+``--analysis-workers N`` forked workers (byte-identical output for any
+worker count; a failed analysis degrades to an error stanza instead of
+killing the report) and optionally exported as machine-readable JSON
+with ``--report-json PATH``; ``audit`` plays the defender and surveys
+the attack surface;
 ``pipeline`` prints the engine's per-stage timing/throughput table;
 ``profile`` runs with observability on and prints the top spans, cache
 hit rates and retry heat.
@@ -161,6 +167,17 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "run":
             cmd.add_argument("--export", metavar="PATH", default=None,
                              help="write the abuse dataset to a JSON file")
+        if name == "report":
+            cmd.add_argument("--analysis-workers", type=int, default=1,
+                             metavar="N",
+                             help="run the report's analysis task graph on "
+                                  "N forked workers (default 1 = the serial "
+                                  "parity path; output is byte-identical "
+                                  "for any worker count)")
+            cmd.add_argument("--report-json", metavar="PATH", default=None,
+                             help="also export every analysis payload as "
+                                  "machine-readable JSON to PATH (atomic "
+                                  "write)")
     return parser
 
 
@@ -217,10 +234,19 @@ def _print_summary(result: ScenarioResult, out) -> None:
     )
 
 
-def _print_report(result: ScenarioResult, out) -> None:
+def _print_report(
+    result: ScenarioResult, out, workers: int = 1, json_path: Optional[str] = None
+) -> None:
+    from repro.analysis import report_json, run_analyses
     from repro.core.paper_report import build_report
 
-    print(build_report(result), file=out)
+    run = run_analyses(result, workers=max(1, workers))
+    print(build_report(result, run=run), file=out)
+    if json_path:
+        # Atomic for the same reason as --export: a crash mid-write must
+        # never leave a torn report where a previous good one stood.
+        atomic_write_text(json_path, report_json(run, result))
+        print(f"analysis JSON exported to {json_path}", file=out)
 
 
 def _print_pipeline(result: ScenarioResult, out) -> None:
@@ -334,7 +360,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                 atomic_write_text(args.export, dataset_to_json(result.dataset, indent=2))
                 print(f"\ndataset exported to {args.export}", file=out)
         elif args.command == "report":
-            _print_report(result, out)
+            _print_report(
+                result, out,
+                workers=getattr(args, "analysis_workers", 1),
+                json_path=getattr(args, "report_json", None),
+            )
         elif args.command == "audit":
             _print_audit(result, out)
         elif args.command == "pipeline":

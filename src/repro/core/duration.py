@@ -121,10 +121,21 @@ def hijack_time_frames(
 def concurrent_hijacks(
     dataset: AbuseDataset, instants: List[datetime]
 ) -> List[Tuple[datetime, int]]:
-    """How many hijacks were live at each instant (Figure 16's density)."""
-    frames = hijack_time_frames(dataset, instants[-1] if instants else datetime.max)
+    """How many hijacks were live at each instant (Figure 16's density).
+
+    ``instants`` may arrive in any order; every one is validated as a
+    naive simulation-clock datetime (the same contract as ``now``
+    everywhere else in this module) and the density is returned in
+    chronological order.  The latest instant right-censors still-open
+    episodes.  An empty list yields an empty density — it must never
+    smuggle ``datetime.max`` past :func:`require_sim_now`.
+    """
+    if not instants:
+        return []
+    ordered = sorted(require_sim_now(instant) for instant in instants)
+    frames = hijack_time_frames(dataset, ordered[-1])
     out = []
-    for instant in instants:
+    for instant in ordered:
         live = sum(
             1
             for _, start, end in frames

@@ -5,189 +5,39 @@ scenario and renders them into a single plain-text document — the
 library equivalent of the paper's evaluation section.  Used by the CLI
 (``python -m repro report``) and the forensics example; returned as a
 string so callers can print, save or diff it.
+
+Since the analysis-engine rework this module is a thin composition
+over :mod:`repro.analysis`: the analyses run as a task graph (serially
+by default, or on a forked pool with ``workers > 1`` — byte-identical
+either way), each section renders from its tasks' payloads, and a
+failed analysis degrades to an error stanza instead of killing the
+report.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Optional
 
-from repro.core import (
-    abuse_volume,
-    cert_analysis,
-    clustering,
-    cookie_analysis,
-    duration,
-    growth,
-    identifiers as identifiers_mod,
-    malware_analysis,
-    provider_analysis,
-    registrar_analysis,
-    reputation,
-    scoring,
-    seo_analysis,
-    victimology,
-)
-from repro.core.ct_monitoring import evaluate_ct_monitoring
-from repro.core.detection import indicator_breakdown, topic_breakdown
-from repro.core.reporting import percent, render_table
+from repro.analysis.engine import AnalysisRun, run_analyses
+from repro.analysis.tasks import render_sections
 from repro.core.scenario import ScenarioResult
-from repro.core.seo_analysis import table1_index_keywords
 
 
-def build_report(result: ScenarioResult) -> str:
-    """Render the complete analysis report for one finished run."""
-    internet = result.internet
-    now = result.end
-    sections: List[str] = []
+def build_report(
+    result: ScenarioResult,
+    workers: int = 1,
+    run: Optional[AnalysisRun] = None,
+) -> str:
+    """Render the complete analysis report for one finished run.
 
-    score = scoring.score_detector(result.dataset, result.ground_truth)
-    points = growth.growth_series(result.collector, result.dataset)
-    sections.append(render_table(
-        ["metric", "value"],
-        [
-            ("weeks simulated", result.weeks_run),
-            ("monitored cloud FQDNs", result.collector.monitored_count()),
-            ("monitored-set growth", f"x{growth.growth_factor(points):.2f}"),
-            ("actual takeovers", len(result.ground_truth)),
-            ("abused FQDNs detected", len(result.dataset)),
-            ("precision / recall", f"{percent(score.precision)} / {percent(score.recall)}"),
-        ],
-        title="Pipeline (Section 3, Figure 1)",
-    ))
-
-    sections.append(render_table(
-        ["indicator combination", "domains", "share"],
-        [(l, c, percent(s)) for l, c, s in indicator_breakdown(result.dataset)],
-        title="Detections by indicator type (Figure 2)",
-    ))
-    sections.append(render_table(
-        ["topic", "domains", "share"],
-        [(l, c, percent(s)) for l, c, s in topic_breakdown(result.dataset)],
-        title="Content topics (Figure 3)",
-    ))
-    sections.append(render_table(
-        ["keyword", "pages"], table1_index_keywords(result.dataset),
-        title="Top index keywords (Table 1)",
-    ))
-
-    victims = victimology.analyze_victims(result.dataset, result.organizations)
-    sections.append(render_table(
-        ["metric", "value"],
-        [
-            ("abused FQDNs / SLDs", f"{victims.abused_fqdns} / {victims.abused_slds}"),
-            ("SLD-level / subdomain", f"{victims.sld_level_abuses} / {victims.subdomain_abuses}"),
-            ("TLDs affected", victims.affected_tlds),
-            ("Fortune 500 / Global 500 share",
-             f"{percent(victims.fortune500_share)} / {percent(victims.global500_share)}"),
-            ("university hijacks", victims.universities_abused),
-            ("orgs hit more than once", victims.multi_subdomain_orgs),
-        ],
-        title="Victimology (Section 4.1, Figures 4/5/7/8/9, Table 6)",
-    ))
-
-    providers = provider_analysis.analyze_providers(
-        result.dataset, result.organizations, result.ground_truth
-    )
-    sections.append(render_table(
-        ["provider", "abuses"], providers.provider_abuse_counts,
-        title=(
-            "Providers (Section 4.2, Table 2/3, Figure 11) — "
-            f"user-nameable invariant: {providers.all_abuses_user_nameable}"
-        ),
-    ))
-
-    durations = duration.analyze_durations(result.dataset, now)
-    sections.append(render_table(
-        ["bucket", "episodes", "share"],
-        [
-            ("<= 15 days", durations.short_lived, percent(durations.short_lived_share)),
-            ("16-65 days", durations.medium,
-             percent(durations.medium / durations.total if durations.total else 0)),
-            ("> 65 days", durations.long_lived, percent(durations.long_lived_share)),
-            ("> 1 year", durations.beyond_year, ""),
-        ],
-        title="Hijack durations (Section 4.4, Figures 15/16)",
-    ))
-
-    seo = seo_analysis.analyze_seo(result.dataset, result.monitor.store, internet.client, now)
-    volume = abuse_volume.analyze_volume(result.dataset)
-    sections.append(render_table(
-        ["metric", "value"],
-        [
-            ("sites with any SEO", percent(seo.seo_share)),
-            ("doorway pages (of SEO sites)", percent(seo.doorway_share)),
-            ("keyword stuffing (of pages)", percent(seo.keyword_stuffing_page_rate)),
-            ("clickjacking sites", seo.clickjacking_sites),
-            ("total uploaded files", volume.total_files),
-            ("max files on one site", volume.max_files),
-        ],
-        title="SEO & volume (Section 5.2, Figure 6, Table 5)",
-    ))
-
-    rep = reputation.analyze_reputation(
-        result.dataset, internet.whois, internet.ct_log, internet.client, now
-    )
-    certs = cert_analysis.analyze_certificates(result.dataset, internet.ct_log)
-    caa = cert_analysis.analyze_caa(result.dataset, internet.zones, internet.ct_log)
-    ct = evaluate_ct_monitoring(result.ground_truth, internet.ct_log)
-    sections.append(render_table(
-        ["metric", "value"],
-        [
-            ("abused SLDs older than a year", percent(rep.older_than_year_share)),
-            ("abused names with certificates", percent(rep.certified_share)),
-            ("single-SAN / multi-SAN certs", f"{certs.single_san_total} / {certs.multi_san_total}"),
-            ("free-CA share of single-SAN", percent(certs.free_ca_share)),
-            ("parents with CAA", percent(caa.caa_share)),
-            ("hijacks CT monitoring would catch", percent(ct.coverage)),
-        ],
-        title="Reputation & certificates (Sections 5.2.3/5.6, Figures 18/20)",
-    ))
-
-    malware = result.harvester.report() if result.harvester else None
-    cookies = cookie_analysis.correlate_cookie_leaks(result.dataset, internet.darknet)
-    blacklist = malware_analysis.analyze_blacklisting(
-        result.dataset, internet.virustotal, internet.ct_log
-    )
-    sections.append(render_table(
-        ["metric", "value"],
-        [
-            ("binaries retrieved (APK/EXE)",
-             f"{malware.total} ({malware.apk_count}/{malware.exe_count})" if malware else "-"),
-            ("trojan verdicts", malware.trojan_flagged if malware else "-"),
-            ("domains flagged by any AV vendor", blacklist.flagged_once),
-            ("leaked auth cookies matched", cookies.unique_cookies),
-        ],
-        title="Malware, blacklists & cookies (Sections 5.4/5.5, Figure 19)",
-    ))
-
-    registrars = registrar_analysis.analyze_registrar_diversity(result.dataset, internet.whois)
-    imap = identifiers_mod.extract_identifiers(result.dataset, result.monitor.store)
-    clusters = clustering.cluster_identifiers(imap)
-    largest = clusters.largest
-    sections.append(render_table(
-        ["metric", "value"],
-        [
-            ("same-change clusters spanning 2+ registrars",
-             percent(registrars.share_spanning_2plus)),
-            ("identifiers extracted", sum(imap.unique_counts.values())),
-            ("infrastructure clusters", clusters.cluster_count),
-            ("largest cluster (ids / domains)",
-             f"{largest.identifier_count} / {largest.domain_count}" if largest else "-"),
-            ("hijacks covered by identifiers",
-             percent(len(clusters.covered_domains()) / len(result.dataset))
-             if len(result.dataset) else "-"),
-        ],
-        title="Attribution (Section 6, Figures 10/21/22/26/27/28)",
-    ))
-
-    if result.monetization is not None and len(result.monetization.ledger):
-        payouts = result.monetization.ledger.payouts()
-        sections.append(render_table(
-            ["referral code", "payout (USD)"],
-            [(code, round(total, 2)) for code, total in payouts[:10]],
-            title="Monetization (Section 5.3, Figure 24)",
-        ))
-
+    ``workers`` sizes the analysis pool (1 = the serial parity path);
+    callers that already executed the engine — e.g. to also export
+    ``--report-json`` — pass their :class:`AnalysisRun` as ``run`` so
+    the analyses are not recomputed.
+    """
+    if run is None:
+        run = run_analyses(result, workers=workers)
+    sections = render_sections(run, result)
     header = (
         "=" * 72
         + f"\nABUSE MEASUREMENT REPORT — seed {result.config.seed}, "

@@ -15,6 +15,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from datetime import datetime
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.core.detection import AbuseDataset
 from repro.core.monitoring import SnapshotStore
@@ -146,6 +147,42 @@ def analyze_seo(
 # -- classification internals ----------------------------------------------------------
 
 
+def _referral_code(url: str) -> Optional[str]:
+    """The value of the actual ``ref`` query parameter, or ``None``.
+
+    Parsed from the URL's query string rather than substring-matched:
+    ``url.split("ref=")[-1]`` splits on the *last* ``ref=`` anywhere in
+    the URL, so ``?ref=abc&href=/x`` yielded ``/x`` and parameters like
+    ``pref=``/``href=`` could poison codes the old ``?ref=``/``&ref=``
+    guard never matched.  Empty codes (``?ref=``) are treated as absent.
+    """
+    query = urlsplit(url).query
+    if not query or "ref=" not in query:
+        return None
+    values = parse_qs(query).get("ref")
+    return values[0] if values else None
+
+
+def _is_internal_link(href: str, fqdn: str) -> bool:
+    """Whether an anchor points back into ``fqdn``'s own site.
+
+    Absolute URLs count when they name the FQDN; scheme-less relative
+    hrefs (``/casino/7.html``, ``page2.html``) are same-site by
+    construction — doorway farms emitting root-relative links must not
+    evade the ``link_network`` classification.
+    """
+    if not href or href.startswith("#"):
+        return False
+    if href.startswith("//"):
+        return fqdn in href
+    split = urlsplit(href)
+    if split.scheme in ("http", "https"):
+        return fqdn in href
+    if split.scheme:  # mailto:, javascript:, tel:, ...
+        return False
+    return True
+
+
 def _classify_from_store(
     profile: SiteSeoProfile, store: SnapshotStore, record, meta_counter: Counter
 ) -> None:
@@ -171,9 +208,10 @@ def _classify_from_store(
         if features.onclick_count > 0:
             profile.clickjacking = True
         for url in features.external_urls:
-            if "?ref=" in url or "&ref=" in url:
+            code = _referral_code(url)
+            if code:
                 profile.doorway = True
-                profile.referral_codes.add(url.split("ref=")[-1].split("&")[0])
+                profile.referral_codes.add(code)
         if features.lang == "ja":
             profile.japanese_keyword_hack = True
 
@@ -229,19 +267,19 @@ def _classify_page(
         profile.clickjacking = True
     internal_links = [
         link for link in document.links
-        if link.href.startswith("http") and profile.fqdn in link.href
+        if _is_internal_link(link.href, profile.fqdn)
     ]
-    referral_links = [
-        link for link in document.links if "?ref=" in link.href or "&ref=" in link.href
+    referral_codes = [
+        code for code in (_referral_code(link.href) for link in document.links)
+        if code
     ]
-    if referral_links:
+    if referral_codes:
         profile.doorway = True
-        for link in referral_links:
-            profile.referral_codes.add(link.href.split("ref=")[-1].split("&")[0])
+        profile.referral_codes.update(referral_codes)
     text_length = len(document.visible_text())
     # Link-network pages exist *only* to link: mostly internal links,
     # no monetized click-through, and next to no content.
-    if len(internal_links) >= 4 and not referral_links and text_length < 300:
+    if len(internal_links) >= 4 and not referral_codes and text_length < 300:
         profile.link_network = True
 
 
@@ -267,7 +305,9 @@ def table1_index_keywords(
     counter: Counter = Counter()
     for record in dataset.records():
         facade_hits = 0
-        for keyword in record.keywords:
+        # Sorted so the counter's insertion order — most_common's
+        # tie-break — never leaks set hash order into the table.
+        for keyword in sorted(record.keywords):
             tokens = set(keyword.split())
             if tokens & _FACADE_TOKENS:
                 facade_hits += 1
