@@ -50,7 +50,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.obs import OBS, MetricsRegistry
+from repro.obs import OBS, MetricsRegistry, cpu_seconds_now
 from repro.parallel.shard import _read_exact, _write_all, fork_with_pipe
 
 
@@ -134,6 +134,10 @@ class AnalysisOutcome:
     #: Full traceback for diagnostics; never rendered into the report.
     error_detail: Optional[str] = None
     wall_ms: float = 0.0
+    #: CPU ms burned by the task — measured inside the worker, so the
+    #: pooled path ships the child's own number home (wall-class data,
+    #: excluded from determinism diffs like ``wall_ms``).
+    cpu_ms: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -174,11 +178,13 @@ def _execute_task(
 ) -> AnalysisOutcome:
     """Run one task with span + counter instrumentation, never raising."""
     started = time.perf_counter()
+    cpu0 = cpu_seconds_now()
     try:
         with OBS.tracer.span(f"analysis.{task.name}"):
             payload = task.run(result, deps)
     except Exception as error:  # isolation: one broken analysis != no report
         wall_ms = (time.perf_counter() - started) * 1000.0
+        cpu_ms = (cpu_seconds_now() - cpu0) * 1000.0
         if OBS.enabled:
             OBS.metrics.inc(f"analysis.{task.name}.failed")
             OBS.metrics.inc("analysis.tasks_failed")
@@ -187,12 +193,16 @@ def _execute_task(
             error=f"{type(error).__name__}: {error}",
             error_detail=traceback.format_exc(),
             wall_ms=wall_ms,
+            cpu_ms=cpu_ms,
         )
     wall_ms = (time.perf_counter() - started) * 1000.0
+    cpu_ms = (cpu_seconds_now() - cpu0) * 1000.0
     if OBS.enabled:
         OBS.metrics.inc(f"analysis.{task.name}.ok")
         OBS.metrics.inc("analysis.tasks_ok")
-    return AnalysisOutcome(task=task.name, payload=payload, wall_ms=wall_ms)
+    return AnalysisOutcome(
+        task=task.name, payload=payload, wall_ms=wall_ms, cpu_ms=cpu_ms
+    )
 
 
 def _skip_outcome(task: AnalysisTask, failed_dep: str) -> AnalysisOutcome:
@@ -252,6 +262,16 @@ def run_analyses(
             done = _run_pool(result, registry, workers)
             effective_workers = workers
     outcomes = [done[task.name] for task in registry]
+    if OBS.enabled:
+        # Per-task resource rows, fed in registry order from the
+        # worker-measured timings (skips carry zeros and are omitted).
+        for outcome in outcomes:
+            if outcome.wall_ms or outcome.cpu_ms:
+                OBS.series.record_stage(
+                    f"analysis.{outcome.task}",
+                    outcome.cpu_ms / 1000.0,
+                    outcome.wall_ms / 1000.0,
+                )
     return AnalysisRun(
         outcomes=outcomes,
         workers=effective_workers,

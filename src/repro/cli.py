@@ -14,6 +14,8 @@
     python -m repro audit      [--seed N] [--scale ...]
     python -m repro pipeline   [--seed N] [--scale ...]
     python -m repro profile    [--seed N] [--scale ...]
+    python -m repro perf       BASELINE CANDIDATE [--threshold X]
+                               [--min-ms MS] [--check]
 
 ``run`` executes a scenario and prints the headline summary (optionally
 exporting the abuse dataset to JSON); ``report`` adds the per-analysis
@@ -29,10 +31,22 @@ hit rates and retry heat.
 
 Every subcommand accepts the observability knobs: ``--metrics`` prints
 the deterministic counter registry after the run, ``--trace PATH``
-streams span/metric events as JSONL (sim-clock *and* wall-clock
-timestamps per event), and ``--trace-sample N`` keeps every Nth span
-per span name.  With none of them given the observability layer stays
-null-object disabled and adds zero cost.
+streams span/metric events (``--trace-format jsonl`` — the default —
+with sim-clock *and* wall-clock timestamps per event, or
+``--trace-format chrome`` for a Perfetto/chrome://tracing-loadable
+trace-event JSON with shard and analysis-pool lanes),
+``--trace-sample N`` keeps every Nth span per span name, and
+``--metrics-json PATH`` exports the week-by-week counter deltas plus
+per-stage/per-shard resource accounting as JSON.  With none of them
+given the observability layer stays null-object disabled and adds zero
+cost.
+
+``perf`` is the regression gate: it compares two telemetry files —
+metrics exports, JSONL traces, Chrome exports or bench results — and
+exits 1 when the candidate regressed past ``--threshold`` (default
+1.20x, with a ``--min-ms`` absolute noise floor) or, with ``--check``,
+when two same-seed metrics exports disagree on any deterministic value
+(a determinism bug, not a slowdown).  Malformed input exits 2.
 
 Every subcommand accepts the chaos knobs: ``--faults [LEVEL]`` turns on
 deterministic fault injection (default level 0.05), ``--fault-seed N``
@@ -74,6 +88,7 @@ clock (auto-set when hang faults are on).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -84,7 +99,16 @@ from repro.core.scenario import ScenarioConfig, ScenarioResult, run_scenario
 from repro.core.scoring import score_detector
 from repro.faults.plan import FaultConfig
 from repro.faults.retry import RetryPolicy
-from repro.obs import OBS, MetricsRegistry, Tracer
+from repro.obs import (
+    BufferTracer,
+    MetricsRegistry,
+    OBS,
+    TimeSeriesRecorder,
+    Tracer,
+)
+from repro.obs.chrome import render_chrome
+from repro.obs.perf import EXIT_MALFORMED, PerfInputError
+from repro.obs.perf import compare as perf_compare
 from repro.obs.profile import render_profile
 from repro.pipeline.store import CheckpointStore, atomic_write_text
 
@@ -159,11 +183,20 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="collect and print the deterministic "
                               "metrics registry after the run")
         cmd.add_argument("--trace", metavar="PATH", default=None,
-                         help="write span/metric events as JSONL to PATH "
+                         help="write span/metric events to PATH "
                               "(sim-clock and wall-clock timestamps)")
+        cmd.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                         default="jsonl",
+                         help="trace file format: jsonl event lines "
+                              "(default) or chrome trace-event JSON for "
+                              "Perfetto / chrome://tracing")
         cmd.add_argument("--trace-sample", type=int, default=1, metavar="N",
                          help="keep every Nth span per span name in the "
                               "trace (default 1 = keep all)")
+        cmd.add_argument("--metrics-json", metavar="PATH", default=None,
+                         help="export week-by-week counter deltas and "
+                              "per-stage/per-shard resource accounting "
+                              "as JSON to PATH (atomic write)")
         if name == "run":
             cmd.add_argument("--export", metavar="PATH", default=None,
                              help="write the abuse dataset to a JSON file")
@@ -178,6 +211,25 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="also export every analysis payload as "
                                   "machine-readable JSON to PATH (atomic "
                                   "write)")
+    perf = sub.add_parser(
+        "perf",
+        help="compare two telemetry exports and exit nonzero on regression",
+    )
+    perf.add_argument("baseline", metavar="BASELINE",
+                      help="baseline file: metrics export, JSONL trace, "
+                           "chrome export or bench results")
+    perf.add_argument("candidate", metavar="CANDIDATE",
+                      help="candidate file of the same kind")
+    perf.add_argument("--threshold", type=float, default=1.20, metavar="X",
+                      help="fail when a series exceeds baseline by this "
+                           "ratio (default 1.20 = +20%%)")
+    perf.add_argument("--min-ms", type=float, default=25.0, metavar="MS",
+                      help="ignore regressions smaller than MS absolute "
+                           "(noise floor, default 25)")
+    perf.add_argument("--check", action="store_true",
+                      help="determinism check: fail on ANY divergence in "
+                           "the deterministic view of two metrics exports "
+                           "(week deltas and counters; timings ignored)")
     return parser
 
 
@@ -317,20 +369,57 @@ def _print_metrics(registry: MetricsRegistry, out) -> None:
           file=out)
 
 
+def _run_perf(args: argparse.Namespace, out) -> int:
+    """The ``perf`` subcommand: compare, print, map to an exit code."""
+    try:
+        report = perf_compare(
+            args.baseline,
+            args.candidate,
+            threshold=args.threshold,
+            min_ms=args.min_ms,
+            check=args.check,
+        )
+    except PerfInputError as error:
+        print(f"perf: {error}", file=sys.stderr)
+        return EXIT_MALFORMED
+    for line in report["lines"]:
+        print(line, file=out)
+    return report["exit_code"]
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
     args = _build_parser().parse_args(argv)
+    if args.command == "perf":
+        # Pure file comparison: no scenario, no observability setup.
+        return _run_perf(args, out)
     config = _config_from_args(args)
-    # ``profile`` implies observability; otherwise either flag turns it
+    # ``profile`` implies observability; otherwise any flag turns it
     # on.  Disabled, the OBS singleton stays null-object and free.
-    obs_active = args.command == "profile" or args.metrics or args.trace
+    obs_active = (
+        args.command == "profile"
+        or args.metrics
+        or args.trace
+        or args.metrics_json
+    )
     registry: Optional[MetricsRegistry] = None
     tracer: Optional[Tracer] = None
+    series: Optional[TimeSeriesRecorder] = None
+    chrome_out: Optional[str] = None
     if obs_active:
         registry = MetricsRegistry()
-        tracer = Tracer(path=args.trace, sample_every=max(1, args.trace_sample))
-        OBS.configure(metrics=registry, tracer=tracer)
+        if args.trace and args.trace_format == "chrome":
+            # Chrome export needs the whole event list to lay out lanes
+            # and normalise timestamps: buffer the run, convert at exit.
+            chrome_out = args.trace
+            tracer = BufferTracer(sample_every=max(1, args.trace_sample))
+        else:
+            tracer = Tracer(
+                path=args.trace, sample_every=max(1, args.trace_sample)
+            )
+        series = TimeSeriesRecorder()
+        OBS.configure(metrics=registry, tracer=tracer, series=series)
     store: Optional[CheckpointStore] = None
     if args.checkpoint_dir:
         store = CheckpointStore(args.checkpoint_dir)
@@ -370,16 +459,41 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         elif args.command == "pipeline":
             _print_pipeline(result, out)
         elif args.command == "profile":
-            print(render_profile(result, registry, tracer), file=out)
+            print(render_profile(result, registry, tracer, series), file=out)
         if args.metrics and args.command != "profile":
             _print_metrics(registry, out)
     finally:
         if obs_active:
-            # The trailing metrics event makes the trace self-contained:
-            # CI asserts counters straight off the JSONL.
-            tracer.emit_metrics(registry)
-            tracer.close()
-            OBS.reset()
+            try:
+                # The trailing metrics event makes the trace
+                # self-contained: CI asserts counters straight off the
+                # JSONL.  Exports run in the finally so a crashed run
+                # still leaves whatever telemetry it accumulated.
+                tracer.emit_metrics(registry)
+                if chrome_out is not None:
+                    atomic_write_text(chrome_out, render_chrome(tracer.events))
+                if args.metrics_json:
+                    atomic_write_text(
+                        args.metrics_json,
+                        json.dumps(
+                            series.export(
+                                registry,
+                                run={
+                                    "command": args.command,
+                                    "seed": args.seed,
+                                    "scale": args.scale,
+                                    "workers": config.workers,
+                                    "incremental": config.incremental,
+                                },
+                            ),
+                            indent=2,
+                        ),
+                    )
+            finally:
+                # Whatever the export path did, the JSONL handle must
+                # close (flushing it) and the singleton must reset.
+                tracer.close()
+                OBS.reset()
     return 0
 
 

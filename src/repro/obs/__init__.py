@@ -1,26 +1,31 @@
-"""Observability: deterministic metrics plus a span tracer.
+"""Observability: deterministic metrics, causal tracing, week series.
 
 The subsystem is off by default and free when off: the process-global
-:data:`OBS` handle starts with null-object metrics and tracer, and hot
-paths guard their instrumentation with ``if OBS.enabled:`` — a single
-attribute load and branch on a ``__slots__`` singleton, so the golden
-baseline keeps its exact cost profile and byte-identical output.
+:data:`OBS` handle starts with null-object metrics, tracer and series
+recorder, and hot paths guard their instrumentation with
+``if OBS.enabled:`` — a single attribute load and branch on a
+``__slots__`` singleton, so the golden baseline keeps its exact cost
+profile and byte-identical output.
 
 Enable it by installing real sinks::
 
-    from repro.obs import OBS, MetricsRegistry, Tracer
+    from repro.obs import OBS, MetricsRegistry, TimeSeriesRecorder, Tracer
 
-    OBS.configure(metrics=MetricsRegistry(), tracer=Tracer(path))
-    try:
-        ...  # run the scenario
-    finally:
-        OBS.reset()
+    with Tracer(path) as tracer:
+        OBS.configure(metrics=MetricsRegistry(), tracer=tracer,
+                      series=TimeSeriesRecorder())
+        try:
+            ...  # run the scenario
+        finally:
+            OBS.reset()
 
 Forked shard workers swap in their own registry/buffer-tracer pair for
 the duration of the shard (:mod:`repro.parallel.shard`) and ship both
 home in the :class:`ShardResult`; the parent reduces registries with
 the associative :meth:`MetricsRegistry.merge_from` and replays trace
-events in shard order, so worker count never changes the totals.
+events in shard order, so worker count never changes the totals.  The
+series recorder lives parent-side only: it snapshots the *merged*
+registry at week boundaries, after every shard effect has landed.
 """
 
 from __future__ import annotations
@@ -30,19 +35,32 @@ from typing import Optional
 from repro.obs.metrics import (
     DEFAULT_BOUNDS,
     HistogramData,
+    MS_BOUNDS,
     MetricsRegistry,
     NULL_METRICS,
     NullMetrics,
     metric_key,
+)
+from repro.obs.timeseries import (
+    METRICS_SCHEMA,
+    NULL_SERIES,
+    NullSeries,
+    TimeSeriesRecorder,
+    cpu_seconds_now,
+    deterministic_view,
+    peak_rss_kb,
 )
 from repro.obs.trace import (
     BufferTracer,
     NULL_SPAN,
     NULL_TRACER,
     NullTracer,
+    TOPOLOGY_SPAN_PREFIXES,
     Tracer,
     WALL_FIELDS,
+    current_span_id,
     load_events,
+    parity_projection,
     sim_projection,
 )
 
@@ -54,6 +72,7 @@ __all__ = [
     "NULL_METRICS",
     "HistogramData",
     "DEFAULT_BOUNDS",
+    "MS_BOUNDS",
     "metric_key",
     "Tracer",
     "BufferTracer",
@@ -61,8 +80,18 @@ __all__ = [
     "NULL_TRACER",
     "NULL_SPAN",
     "WALL_FIELDS",
+    "TOPOLOGY_SPAN_PREFIXES",
+    "current_span_id",
     "load_events",
     "sim_projection",
+    "parity_projection",
+    "TimeSeriesRecorder",
+    "NullSeries",
+    "NULL_SERIES",
+    "METRICS_SCHEMA",
+    "cpu_seconds_now",
+    "peak_rss_kb",
+    "deterministic_view",
 ]
 
 
@@ -73,31 +102,38 @@ class Observability:
     pay one attribute read, never an ``isinstance`` or null check.
     """
 
-    __slots__ = ("metrics", "tracer", "enabled")
+    __slots__ = ("metrics", "tracer", "series", "enabled")
 
     def __init__(self) -> None:
         self.metrics = NULL_METRICS
         self.tracer = NULL_TRACER
+        self.series = NULL_SERIES
         self.enabled = False
 
     def configure(
         self,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        series: Optional[TimeSeriesRecorder] = None,
     ) -> None:
         """Install real sinks; ``None`` leaves that slot unchanged."""
         if metrics is not None:
             self.metrics = metrics
         if tracer is not None:
             self.tracer = tracer
+        if series is not None:
+            self.series = series
         self.enabled = not (
-            self.metrics is NULL_METRICS and self.tracer is NULL_TRACER
+            self.metrics is NULL_METRICS
+            and self.tracer is NULL_TRACER
+            and self.series is NULL_SERIES
         )
 
     def reset(self) -> None:
         """Back to the free disabled state (does not close the tracer)."""
         self.metrics = NULL_METRICS
         self.tracer = NULL_TRACER
+        self.series = NULL_SERIES
         self.enabled = False
 
 

@@ -26,6 +26,36 @@ from typing import Dict, List, Tuple
 #: histogram — CNAME chain depths, retry attempt counts.
 DEFAULT_BOUNDS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
+#: Millisecond-scale bounds for duration histograms.  The power-of-two
+#: :data:`DEFAULT_BOUNDS` top out at 64, so wall timings would saturate
+#: the overflow bucket immediately; these cover sub-ms through ~4s.
+MS_BOUNDS: Tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0,
+)
+
+#: Characters in label values that would be ambiguous inside the
+#: ``name{k=v,...}`` key syntax, and their escapes.
+_LABEL_ESCAPES = (
+    ("\\", "\\\\"),  # must run first so escapes don't double-escape
+    (",", "\\,"),
+    ("=", "\\="),
+    ("{", "\\{"),
+    ("}", "\\}"),
+)
+
+
+def _escape_label(value: object) -> str:
+    """Render a label value with the key-syntax metacharacters escaped.
+
+    Without this, ``inc("x", a="1,b=2")`` and ``inc("x", a="1", b="2")``
+    would collide into the same series key and silently merge counts.
+    """
+    text = str(value)
+    for raw, escaped in _LABEL_ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
 
 @dataclass
 class HistogramData:
@@ -94,7 +124,7 @@ def metric_key(name: str, labels: Dict[str, object]) -> str:
     """
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(f"{k}={_escape_label(labels[k])}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -128,12 +158,24 @@ class MetricsRegistry:
         if current is None or value > current:
             self._gauges[key] = value
 
-    def observe(self, name: str, value: float, **labels: object) -> None:
-        """Add one observation to histogram ``name``."""
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Tuple[float, ...] = None,
+        **labels: object,
+    ) -> None:
+        """Add one observation to histogram ``name``.
+
+        ``bounds`` fixes the bucket bounds the first time a series is
+        observed (e.g. :data:`MS_BOUNDS` for duration histograms); the
+        series keeps them for life, and :meth:`HistogramData.merge_from`
+        refuses to merge series whose call sites disagreed.
+        """
         key = metric_key(name, labels) if labels else name
         hist = self._histograms.get(key)
         if hist is None:
-            hist = HistogramData()
+            hist = HistogramData(bounds=bounds) if bounds else HistogramData()
             self._histograms[key] = hist
         hist.observe(value)
 
@@ -251,7 +293,10 @@ class NullMetrics:
     def gauge(self, name: str, value: float, **labels: object) -> None:
         pass
 
-    def observe(self, name: str, value: float, **labels: object) -> None:
+    def observe(
+        self, name: str, value: float, bounds: Tuple[float, ...] = None,
+        **labels: object,
+    ) -> None:
         pass
 
     def counter(self, name: str, **labels: object) -> int:

@@ -140,7 +140,85 @@ def _sweep_table(result, metrics) -> str:
     )
 
 
-def render_profile(result, metrics, tracer) -> str:
+#: Counter series worth trending week over week, with short labels.
+TREND_SERIES: Tuple[Tuple[str, str], ...] = (
+    ("monitor.samples", "samples"),
+    ("sweep.sample.full", "full"),
+    ("sweep.sample.touch", "touch"),
+    ("journal.clean_skips", "clean"),
+    ("detector.signature_matches", "matches"),
+    ("detector.newly_flagged", "flagged"),
+)
+
+#: How many week rows the trend table keeps (most recent last).
+TREND_WEEKS = 12
+
+
+def _trend_table(series) -> str:
+    """Per-week counter deltas: the longitudinal view of the run."""
+    weeks = series.weeks()
+    if not weeks:
+        return ""
+    active = [
+        (key, label)
+        for key, label in TREND_SERIES
+        if any(entry["deltas"].get(key) for entry in weeks)
+    ]
+    if not active:
+        return ""
+    shown = weeks[-TREND_WEEKS:]
+    rows = [
+        tuple(
+            [entry["week"]]
+            + [entry["deltas"].get(key, 0) for key, _label in active]
+        )
+        for entry in shown
+    ]
+    elided = len(weeks) - len(shown)
+    title = "\nWeekly trend (per-week counter deltas"
+    title += f", first {elided} weeks elided)" if elided else ")"
+    return render_table(
+        ["week"] + [label for _key, label in active], rows, title=title
+    )
+
+
+def _resource_table(series) -> str:
+    """Where the CPU went: per-stage and per-shard resource rows."""
+    stages = series.stage_rows()
+    shards = series.shard_rows()
+    if not stages and not shards:
+        return ""
+    rows: List[Tuple[object, ...]] = []
+    for name, row in sorted(
+        stages.items(), key=lambda item: -item[1]["cpu_s"]
+    ):
+        rows.append(
+            (
+                name,
+                int(row["calls"]),
+                f"{row['cpu_s']:.3f}",
+                f"{row['wall_s']:.3f}",
+                "-",
+            )
+        )
+    for index, row in shards.items():
+        rows.append(
+            (
+                f"shard {index} ({int(row['items'])} items)",
+                int(row["runs"]),
+                f"{row['cpu_s']:.3f}",
+                f"{row['wall_s']:.3f}",
+                int(row["peak_rss_kb"]) or "-",
+            )
+        )
+    return render_table(
+        ["stage / shard", "calls", "cpu s", "wall s", "peak rss KiB"],
+        rows,
+        title="\nResource accounting (wall-class: varies run to run)",
+    )
+
+
+def render_profile(result, metrics, tracer, series=None) -> str:
     """The full profile report for one finished scenario run."""
     title = (
         f"Observability profile ({result.weeks_run} weeks, "
@@ -154,4 +232,8 @@ def render_profile(result, metrics, tracer) -> str:
         _retry_table(metrics),
         _sweep_table(result, metrics),
     ]
+    if series is not None:
+        for extra in (_trend_table(series), _resource_table(series)):
+            if extra:
+                sections.append(extra)
     return "\n".join(sections)

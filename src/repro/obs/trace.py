@@ -1,4 +1,4 @@
-"""Structured span tracing to JSONL.
+"""Structured span tracing to JSONL, with causal trace trees.
 
 Every event carries two clocks: the **simulated** timestamp (``sim``,
 the week being processed) and the **wall** clock (``wall`` plus span
@@ -7,23 +7,40 @@ the wall ones — is a pure function of the seed, so two same-seed runs
 must emit identical projections; tests and the observability-smoke CI
 job diff exactly that (:func:`sim_projection`).
 
+Spans form a **causal tree**.  The currently-open span is tracked in a
+:mod:`contextvars` context variable; a span opened while another is
+open becomes its child and records the parent's id.  Ids are *path
+ids* — ``parent-id/name#seq`` — assigned from deterministic state
+only: the per-parent sequence number of that span name, or an explicit
+``seq=`` the call site derives from simulation structure (shard
+spans pass their shard index).  That makes the id-bearing projection a
+pure function of the seed and worker topology: a forked shard worker
+inherits the parent's open-span context through ``os.fork`` and builds
+the exact id an inline run of the same shard would have built.
+
 Forked shard workers cannot share the parent's file handle, so they
 trace into a :class:`BufferTracer` (:meth:`Tracer.fork_buffer`) whose
 events ride home in the :class:`~repro.parallel.shard.ShardResult` and
 are replayed by the parent **in shard order** — the same discipline as
-every other shard effect, and what keeps the event sequence
-deterministic across worker counts.
+every other shard effect, and what keeps the event sequence (ids
+included) deterministic across worker counts.
 
 Sampling (``sample_every=N``) keeps every Nth span *per span name*, a
 deterministic rule that thins the JSONL without desynchronising
 same-seed runs.  Aggregates (span count and total duration per name,
 for the ``profile`` report) always see every span.
+
+:class:`Tracer` is a context manager: ``with Tracer(path) as tracer``
+guarantees the JSONL handle is flushed and closed even when the traced
+run raises — an exception mid-run must never leak the handle or drop
+buffered trailing events.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from contextvars import ContextVar
 from datetime import datetime
 from typing import Dict, List, Optional
 
@@ -31,26 +48,80 @@ from typing import Dict, List, Optional
 #: same-seed traces for determinism.
 WALL_FIELDS = ("wall", "dur_ms")
 
+#: Span names whose *count* is a function of the worker topology, not
+#: the seed: one ``sweep.shard`` span exists per shard, and the
+#: supervisor's recovery spans exist only where workers were dispatched.
+#: :func:`parity_projection` drops them (exactly as the registry parity
+#: tests drop the ``sweep.shards.*`` counter split) so traces can be
+#: compared *across* worker counts and executor choices.
+TOPOLOGY_SPAN_PREFIXES = ("sweep.shard", "supervisor.")
+
+#: The process-wide open-span context.  One tracer is active at a time
+#: (the :data:`repro.obs.OBS` singleton), so the variable is shared by
+#: all tracer instances; forked children inherit its value through the
+#: copied interpreter state, which is how a shard worker knows which
+#: parent span to nest under.
+_CURRENT_SPAN: ContextVar[Optional["_Span"]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span_id() -> Optional[str]:
+    """The id of the innermost open span (``None`` outside any span)."""
+    span = _CURRENT_SPAN.get()
+    return span.id if span is not None else None
+
 
 class _Span:
     """One in-flight span; a context manager that emits on exit."""
 
-    __slots__ = ("_tracer", "name", "sim", "week", "attrs", "_started")
+    __slots__ = (
+        "_tracer", "name", "sim", "week", "attrs", "_started",
+        "id", "parent", "seq", "_token", "_child_seq",
+    )
 
-    def __init__(self, tracer: "Tracer", name: str, sim, week, attrs):
+    def __init__(self, tracer: "Tracer", name: str, sim, week, seq, attrs):
         self._tracer = tracer
         self.name = name
         self.sim = sim
         self.week = week
         self.attrs = attrs
+        self.seq = seq
         self._started = 0.0
+        self.id: Optional[str] = None
+        self.parent: Optional[str] = None
+        self._token = None
+        #: Per-name sequence counters of this span's children; lives and
+        #: dies with the span, so id state never accumulates.
+        self._child_seq: Optional[Dict[str, int]] = None
+
+    def _next_child_seq(self, name: str) -> int:
+        if self._child_seq is None:
+            self._child_seq = {}
+        n = self._child_seq.get(name, 0)
+        self._child_seq[name] = n + 1
+        return n
 
     def __enter__(self) -> "_Span":
+        parent = _CURRENT_SPAN.get()
+        if self.seq is not None:
+            n = self.seq
+        elif parent is not None:
+            n = parent._next_child_seq(self.name)
+        else:
+            n = self._tracer._next_root_seq(self.name)
+        if parent is not None:
+            self.parent = parent.id
+            self.id = f"{parent.id}/{self.name}#{n}"
+        else:
+            self.id = f"{self.name}#{n}"
+        self._token = _CURRENT_SPAN.set(self)
         self._started = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         duration_ms = (time.perf_counter() - self._started) * 1000.0
+        _CURRENT_SPAN.reset(self._token)
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
         self._tracer._finish_span(self, duration_ms)
@@ -76,7 +147,7 @@ class NullTracer:
 
     __slots__ = ()
 
-    def span(self, name: str, sim=None, week=None, **attrs) -> _NullSpan:
+    def span(self, name: str, sim=None, week=None, seq=None, **attrs) -> _NullSpan:
         return NULL_SPAN
 
     def event(self, name: str, sim=None, week=None, **attrs) -> None:
@@ -94,7 +165,16 @@ class NullTracer:
     def aggregates(self) -> Dict[str, Dict[str, float]]:
         return {}
 
+    def flush(self) -> None:
+        pass
+
     def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
         pass
 
 
@@ -107,11 +187,12 @@ def _stamp(value) -> Optional[str]:
 
 
 class Tracer:
-    """JSONL span tracer with per-name sampling and aggregates.
+    """JSONL span tracer with causal ids, sampling and aggregates.
 
     ``path=None`` keeps aggregates only (the ``profile`` subcommand's
     mode); with a path, one JSON object per line is written with a
-    fixed key order, so traces diff cleanly.
+    fixed key order, so traces diff cleanly.  Use as a context manager
+    to guarantee the handle closes on error paths.
     """
 
     def __init__(self, path: Optional[str] = None, sample_every: int = 1):
@@ -123,17 +204,42 @@ class Tracer:
         self._seen: Dict[str, int] = {}
         #: name -> [count, total_ms, max_ms]; always fed, never sampled.
         self._agg: Dict[str, List[float]] = {}
+        #: Per-name sequence counters of root spans (no open parent).
+        self._root_seq: Dict[str, int] = {}
         self.events_emitted = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Close (and thereby flush) even when the traced run raised: a
+        # crashed scenario must still leave a readable, complete JSONL.
+        self.close()
 
     # -- recording --------------------------------------------------------
 
-    def span(self, name: str, sim=None, week=None, **attrs) -> _Span:
-        """Open a span; use as a context manager."""
-        return _Span(self, name, sim, week, attrs)
+    def span(self, name: str, sim=None, week=None, seq=None, **attrs) -> _Span:
+        """Open a span; use as a context manager.
+
+        ``seq`` overrides the per-parent sequence number in the span's
+        path id.  Call sites whose spans run in forked workers pass a
+        simulation-derived value (the shard index) so the id is the
+        same whether the span ran forked, inline, or after a replay.
+        """
+        return _Span(self, name, sim, week, seq, attrs)
 
     def event(self, name: str, sim=None, week=None, **attrs) -> None:
-        """Emit a point event (never sampled away)."""
-        self._write(self._payload("event", name, sim, week, attrs))
+        """Emit a point event (never sampled away); parented like a span."""
+        self._write(
+            self._payload("event", name, sim, week, attrs, parent=current_span_id())
+        )
+
+    def _next_root_seq(self, name: str) -> int:
+        n = self._root_seq.get(name, 0)
+        self._root_seq[name] = n + 1
+        return n
 
     def _finish_span(self, span: _Span, duration_ms: float) -> None:
         agg = self._agg.get(span.name)
@@ -148,7 +254,10 @@ class Tracer:
         self._seen[span.name] = seen + 1
         if seen % self.sample_every:
             return
-        payload = self._payload("span", span.name, span.sim, span.week, span.attrs)
+        payload = self._payload(
+            "span", span.name, span.sim, span.week, span.attrs,
+            span_id=span.id, parent=span.parent,
+        )
         payload["dur_ms"] = round(duration_ms, 3)
         self._write(payload)
 
@@ -166,12 +275,18 @@ class Tracer:
     # -- shard plumbing ---------------------------------------------------
 
     def fork_buffer(self) -> "BufferTracer":
-        """A child-side tracer buffering events for the shard pipe."""
+        """A child-side tracer buffering events for the shard pipe.
+
+        The open-span context rides the fork itself (:data:`_CURRENT_SPAN`
+        is ordinary interpreter state), so spans the child opens nest
+        under the parent's in-flight span with the same path ids an
+        inline run would assign.
+        """
         return BufferTracer(sample_every=self.sample_every)
 
     def replay(self, events: List[Dict]) -> None:
-        """Write a shard's buffered events (already sampled child-side)
-        and fold their spans into the aggregates."""
+        """Write a shard's buffered events (already sampled and id-stamped
+        child-side) and fold their spans into the aggregates."""
         for payload in events:
             if payload.get("type") == "span":
                 name = payload["name"]
@@ -188,8 +303,15 @@ class Tracer:
 
     # -- output -----------------------------------------------------------
 
-    def _payload(self, kind: str, name: str, sim, week, attrs) -> Dict:
+    def _payload(
+        self, kind: str, name: str, sim, week, attrs,
+        span_id: Optional[str] = None, parent: Optional[str] = None,
+    ) -> Dict:
         payload = {"type": kind, "name": name}
+        if span_id is not None:
+            payload["id"] = span_id
+        if parent is not None:
+            payload["parent"] = parent
         if week is not None:
             payload["week"] = week
         if sim is not None:
@@ -218,6 +340,10 @@ class Tracer:
             for name, agg in sorted(self._agg.items())
         }
 
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
@@ -229,7 +355,9 @@ class BufferTracer(Tracer):
 
     Used by forked shard workers: the parent replays ``events`` in
     shard order, so the final JSONL is identical to what an inline run
-    would have written (wall fields aside).
+    would have written (wall fields aside).  Also the capture backend
+    of the Chrome export: the CLI buffers the whole run and converts
+    the events at exit.
     """
 
     def __init__(self, sample_every: int = 1):
@@ -255,10 +383,36 @@ def load_events(path: str) -> List[Dict]:
 def sim_projection(events: List[Dict]) -> List[Dict]:
     """Events with every wall-clock field stripped.
 
-    What remains is a pure function of the seed and worker topology;
-    two same-seed runs must produce equal projections.
+    What remains — names, causal ids and parent ids, sim timestamps,
+    deterministic attrs, the metrics snapshot — is a pure function of
+    the seed and worker topology; two same-seed runs of the same
+    configuration must produce equal projections.
     """
     return [
         {key: value for key, value in event.items() if key not in WALL_FIELDS}
         for event in events
     ]
+
+
+def parity_projection(events: List[Dict]) -> List[Dict]:
+    """The topology-invariant slice of the sim projection.
+
+    Drops the per-shard spans (their count is the worker count, and the
+    serial executor never opens them at all), the supervisor's recovery
+    spans, and the trailing metrics snapshot (whose ``sweep.shards.*``
+    and cache-split counters are topology-dependent — the registry
+    parity tests exclude the same prefixes).  What survives — the
+    stage, analysis and checkpoint spans with their causal ids — must
+    be byte-identical for one seed across ``--workers`` counts and
+    ``--incremental`` on/off.
+    """
+    kept: List[Dict] = []
+    for event in events:
+        if event.get("type") == "metrics":
+            continue
+        if event.get("name", "").startswith(TOPOLOGY_SPAN_PREFIXES):
+            continue
+        kept.append(
+            {key: value for key, value in event.items() if key not in WALL_FIELDS}
+        )
+    return kept

@@ -355,6 +355,13 @@ class ProcessExecutor(SweepExecutor):
             report.shard_sizes.append(result.size)
             report.shard_walls.append(result.wall_seconds)
             report.cpu_seconds += result.wall_seconds
+            if OBS.enabled:
+                OBS.series.record_shard(
+                    result.index, result.size,
+                    result.cpu_seconds or result.wall_seconds,
+                    result.wall_seconds,
+                    result.peak_rss_kb,
+                )
         for letter in quarantined or ():
             report.quarantined.append((letter.fqdn, letter.reason))
             if ledger is not None:

@@ -48,7 +48,7 @@ from repro.dns.names import Name
 from repro.dns.records import RRType
 from repro.dns.resolver import ResolutionStatus, Resolver
 from repro.dns.zone import ZONE_SET_KEY
-from repro.obs import OBS, MetricsRegistry
+from repro.obs import OBS, MetricsRegistry, cpu_seconds_now, peak_rss_kb
 from repro.web.client import FetchStatus
 from repro.web.http import HttpRequest
 
@@ -204,6 +204,12 @@ class ShardResult:
     #: a forked child created.
     ledger_entries: Dict[Name, TouchEntry] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    #: CPU seconds burned sampling this shard (wall-class: feeds the
+    #: resource accounting, excluded from determinism diffs).
+    cpu_seconds: float = 0.0
+    #: Peak RSS of the worker process in KiB (forked mode: the child's
+    #: own peak; inline: the parent's, so only max-merged, never summed).
+    peak_rss_kb: int = 0
     fused: bool = False
     #: Shard-local observability, shipped home in forked mode only:
     #: the child's :class:`MetricsRegistry` (merged associatively by
@@ -287,6 +293,7 @@ def run_shard(
     resolver = client.resolver
     plan = client.fault_plan
     started = time.perf_counter()
+    cpu0 = cpu_seconds_now()
     samples0 = monitor.samples_taken
     sitemap0 = monitor.sitemap_fetches
     retries0 = client.retries_total
@@ -341,8 +348,11 @@ def run_shard(
                 changed = monitor.journal.changed_since(ledger.cursor)
                 ledger_out = result.ledger_entries
         headers = {"User-Agent": monitor.config.user_agent}
+        # ``seq=index`` pins the span's path id to the shard index, so
+        # the id is identical whether the shard ran forked, inline or
+        # serially re-dispatched — worker topology never shows in ids.
         with OBS.tracer.span(
-            "sweep.shard", sim=at, shard=index, size=len(fqdns),
+            "sweep.shard", sim=at, seq=index, shard=index, size=len(fqdns),
             mode="fused" if fused else "generic",
         ):
             for fqdn in fqdns:
@@ -406,6 +416,8 @@ def run_shard(
                 key: cache.sitemap[key] for key in cache.sitemap.keys() - sitemap_keys0
             }
     result.wall_seconds = time.perf_counter() - started
+    result.cpu_seconds = cpu_seconds_now() - cpu0
+    result.peak_rss_kb = peak_rss_kb()
     return result
 
 

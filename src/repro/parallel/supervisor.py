@@ -370,6 +370,10 @@ def _combine(left: ShardResult, right: ShardResult) -> ShardResult:
     merged.cache_misses = left.cache_misses + right.cache_misses
     merged.ledger_entries = {**left.ledger_entries, **right.ledger_entries}
     merged.wall_seconds = left.wall_seconds + right.wall_seconds
+    # Bisected halves ran sequentially in separate workers: CPU sums,
+    # peak RSS is whichever half's process grew larger.
+    merged.cpu_seconds = left.cpu_seconds + right.cpu_seconds
+    merged.peak_rss_kb = max(left.peak_rss_kb, right.peak_rss_kb)
     merged.fused = left.fused and right.fused
     if left.metrics is not None and right.metrics is not None:
         merged.metrics = left.metrics.merge(right.metrics)

@@ -29,7 +29,7 @@ from datetime import datetime, timedelta
 from typing import Any, Callable, List, Optional, Sequence, Set
 
 from repro.faults.retry import RetryPolicy
-from repro.obs import OBS
+from repro.obs import OBS, cpu_seconds_now
 from repro.pipeline.context import QuarantineRecord, WeekContext
 from repro.pipeline.metrics import PipelineMetrics
 from repro.pipeline.stage import Stage
@@ -173,6 +173,7 @@ class PipelineEngine:
         while True:
             attempt += 1
             started = time.perf_counter()
+            cpu0 = cpu_seconds_now() if OBS.enabled else 0.0
             try:
                 with OBS.tracer.span(
                     f"stage.{stage.name}", sim=ctx.at, week=ctx.week_index,
@@ -196,9 +197,15 @@ class PipelineEngine:
                 )
                 return
             else:
-                self.metrics.record_tick(
-                    stage.name, time.perf_counter() - started, int(items or 0)
-                )
+                elapsed = time.perf_counter() - started
+                self.metrics.record_tick(stage.name, elapsed, int(items or 0))
+                if OBS.enabled:
+                    # ``cpu_seconds_now`` counts reaped children, so a
+                    # stage that forked shard workers is charged for
+                    # the CPU they burned, not just the parent's share.
+                    OBS.series.record_stage(
+                        stage.name, cpu_seconds_now() - cpu0, elapsed
+                    )
                 return
 
     def step(self) -> WeekContext:
@@ -235,6 +242,12 @@ class PipelineEngine:
         for record in ctx.quarantine:
             self.metrics.record_quarantine(record.stage)
         self.dead_letters.extend(ctx.quarantine)
+        if OBS.enabled:
+            # Week boundary: snapshot the counter registry so the
+            # series holds this week's deltas.  After the stage loop —
+            # every shard effect has merged by now — and before the
+            # clock advances, so the stamp is the week that just ran.
+            OBS.series.snapshot(self.week_index, ctx.at, OBS.metrics)
         self.week_index += 1
         self.clock.advance(self.week_step)
         return ctx
